@@ -1,0 +1,79 @@
+/**
+ * Ablation: AMNT design-parameter sensitivity (DESIGN.md section 5).
+ *
+ * Sweeps the two tracking parameters the paper fixes at 64 — the
+ * history-buffer interval (writes between movement decisions) and the
+ * history-buffer capacity — on a movement-prone multiprogram mix, and
+ * reports normalized cycles, subtree hit rate, and movement rate.
+ * Shows the trade-off: short intervals chase the workload (more
+ * movements, more flush traffic), long intervals react too slowly.
+ */
+
+#include "bench_util.hh"
+
+using namespace amnt;
+using namespace amnt::bench;
+
+int
+main()
+{
+    const std::uint64_t instr = benchInstructions() / 2;
+    const std::uint64_t warmup = benchWarmup() / 2;
+
+    const std::vector<sim::WorkloadConfig> procs = {
+        scaledMp(sim::parsecPreset("bodytrack")),
+        scaledMp(sim::parsecPreset("fluidanimate"))};
+
+    const sim::RunResult base =
+        runConfig(paperSystem(mee::Protocol::Volatile, 2), procs,
+                  instr, warmup);
+    const double base_cycles = static_cast<double>(base.cycles);
+
+    std::printf("Ablation A: movement interval (history entries "
+                "fixed at 64)\n\n");
+    TextTable ta;
+    ta.header({"interval", "normalized cycles", "subtree hit",
+               "moves/1k writes"});
+    for (unsigned interval : {8u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
+        sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
+        cfg.mee.amntSubtreeLevel = 5; // movement-prone coverage
+        cfg.mee.amntInterval = interval;
+        const sim::RunResult r = runConfig(cfg, procs, instr, warmup);
+        const double mpk =
+            r.memWrites == 0
+                ? 0.0
+                : 1000.0 * static_cast<double>(r.subtreeMovements) /
+                      static_cast<double>(r.memWrites);
+        ta.row({std::to_string(interval),
+                TextTable::num(static_cast<double>(r.cycles) /
+                                   base_cycles,
+                               3),
+                TextTable::pct(r.subtreeHitRate, 1),
+                TextTable::num(mpk, 2)});
+    }
+    std::printf("%s\n", ta.render().c_str());
+
+    std::printf("Ablation B: history-buffer capacity (interval fixed "
+                "at 64)\n\n");
+    TextTable tb;
+    tb.header({"entries", "normalized cycles", "subtree hit",
+               "buffer bits"});
+    for (unsigned entries : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
+        cfg.mee.amntSubtreeLevel = 5; // movement-prone coverage
+        cfg.mee.amntHistoryEntries = entries;
+        const sim::RunResult r = runConfig(cfg, procs, instr, warmup);
+        const unsigned bits =
+            entries * 2 * static_cast<unsigned>(ceilLog2(entries));
+        tb.row({std::to_string(entries),
+                TextTable::num(static_cast<double>(r.cycles) /
+                                   base_cycles,
+                               3),
+                TextTable::pct(r.subtreeHitRate, 1),
+                std::to_string(bits)});
+    }
+    std::printf("%s\n", tb.render().c_str());
+    std::printf("paper default: 64 writes per interval, 64 entries = "
+                "768 bits (96 B)\n");
+    return 0;
+}

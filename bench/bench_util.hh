@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses in bench/.
+ *
+ * Every binary regenerates one table or figure of the paper: it runs
+ * the same protocol set over the same workloads and prints the same
+ * rows/series the paper reports (normalized cycles, hit rates,
+ * recovery milliseconds). Scale differs from the authors' testbed —
+ * these are scaled-down regions of interest on a simulator — so the
+ * *shape* (who wins, by roughly what factor, where crossovers fall)
+ * is the reproduction target; see EXPERIMENTS.md.
+ *
+ * Environment knobs:
+ *   AMNT_BENCH_INSTR   instructions per core measured  (default 2M)
+ *   AMNT_BENCH_WARMUP  warm-up instructions per core   (default 1M)
+ *   AMNT_BENCH_SCALE   divisor applied to preset footprints (def. 4)
+ */
+
+#ifndef AMNT_BENCH_BENCH_UTIL_HH
+#define AMNT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/presets.hh"
+#include "sim/system.hh"
+
+namespace amnt::bench
+{
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
+}
+
+inline std::uint64_t
+benchInstructions()
+{
+    return envU64("AMNT_BENCH_INSTR", 2'000'000);
+}
+
+inline std::uint64_t
+benchWarmup()
+{
+    return envU64("AMNT_BENCH_WARMUP", 1'000'000);
+}
+
+/**
+ * Scale a preset's footprint down so scaled-down instruction counts
+ * still revisit their working set (the paper runs 1B+ instructions;
+ * we default to 2M measured).
+ */
+inline sim::WorkloadConfig
+scaled(sim::WorkloadConfig w)
+{
+    const std::uint64_t divisor = envU64("AMNT_BENCH_SCALE", 4);
+    w.footprintPages =
+        std::max<std::uint64_t>(256, w.footprintPages / divisor);
+    return w;
+}
+
+/**
+ * Multiprogram footprints stay at full size: the interference
+ * effects of Figures 5-7 only appear when the combined hot sets
+ * compete for (and overflow) one subtree region.
+ */
+inline sim::WorkloadConfig
+scaledMp(sim::WorkloadConfig w)
+{
+    const std::uint64_t divisor = envU64("AMNT_BENCH_SCALE_MP", 1);
+    w.footprintPages =
+        std::max<std::uint64_t>(256, w.footprintPages / divisor);
+    return w;
+}
+
+/** The protocol columns of Figures 4/5 (amnt++ handled separately). */
+inline const std::vector<mee::Protocol> &
+figureProtocols()
+{
+    static const std::vector<mee::Protocol> p = {
+        mee::Protocol::Leaf, mee::Protocol::Strict,
+        mee::Protocol::Anubis, mee::Protocol::Bmf,
+        mee::Protocol::Amnt,
+    };
+    return p;
+}
+
+/** One measured configuration. */
+struct Measured
+{
+    sim::RunResult result;
+    double normalizedCycles = 0.0; ///< vs the volatile baseline
+};
+
+/**
+ * Run one protocol (optionally with the AMNT++ OS) on one or two
+ * workloads under @p base system config and return the result.
+ */
+inline sim::RunResult
+runConfig(sim::SystemConfig cfg,
+          const std::vector<sim::WorkloadConfig> &procs,
+          std::uint64_t instr, std::uint64_t warmup)
+{
+    sim::System sys(cfg);
+    for (const auto &w : procs)
+        sys.addProcess(w);
+    return sys.run(instr, warmup);
+}
+
+/** Paper Table 1 system config at the chosen core count. */
+inline sim::SystemConfig
+paperSystem(mee::Protocol p, unsigned cores)
+{
+    sim::SystemConfig cfg =
+        cores == 1   ? sim::SystemConfig::singleProgram(p)
+        : cores == 2 ? sim::SystemConfig::multiProgram(p)
+                     : sim::SystemConfig::specQuad(p);
+    cfg.mee.dataBytes = 8ull << 30;
+    return cfg;
+}
+
+} // namespace amnt::bench
+
+#endif // AMNT_BENCH_BENCH_UTIL_HH

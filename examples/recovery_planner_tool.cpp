@@ -1,0 +1,77 @@
+/**
+ * Recovery planner: the system administrator's tool from section 6.7.
+ *
+ * Given an SCM capacity and a tolerable recovery-time budget, prints
+ * the recovery-time table for every protocol and recommends the AMNT
+ * subtree level (set in BIOS) that maximizes the fast subtree while
+ * honouring the budget.
+ *
+ *   $ ./recovery_planner_tool [capacity_gb] [budget_ms]
+ *   $ ./recovery_planner_tool 2048 100
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "core/recovery_planner.hh"
+
+using namespace amnt;
+
+int
+main(int argc, char **argv)
+{
+    const double capacity_gb =
+        argc > 1 ? std::atof(argv[1]) : 2048.0; // 2 TB default
+    const double budget_ms = argc > 2 ? std::atof(argv[2]) : 100.0;
+    const auto mem_bytes = static_cast<std::uint64_t>(
+        capacity_gb * 1024.0 * 1024.0 * 1024.0);
+
+    core::RecoveryModel model;
+
+    std::printf("SCM capacity: %.0f GB; tolerable recovery: %.2f ms; "
+                "read bandwidth %.0f GB/s\n\n",
+                capacity_gb, budget_ms, model.readBandwidthGBs);
+
+    TextTable table;
+    table.header({"protocol", "recovery (ms)", "stale BMT",
+                  "runtime character"});
+    table.row({"strict", TextTable::num(model.strictMs(mem_bytes), 2),
+               "0%", "slowest (full path write-through)"});
+    table.row({"leaf", TextTable::num(model.leafMs(mem_bytes), 2),
+               "100%", "fastest, unbounded recovery"});
+    table.row({"osiris", TextTable::num(model.osirisMs(mem_bytes), 2),
+               "100%*", "leaf-like, longest recovery"});
+    table.row({"anubis", TextTable::num(model.anubisMs(), 2), "fixed",
+               "slow path on metadata cache misses"});
+    table.row({"bmf", TextTable::num(model.bmfMs(mem_bytes), 2), "0%",
+               "strict-like on cold regions"});
+    for (unsigned level = 2; level <= 6; ++level) {
+        table.row(
+            {"amnt L" + std::to_string(level),
+             TextTable::num(model.amntMs(mem_bytes, level), 2),
+             TextTable::pct(core::RecoveryModel::amntStaleFraction(
+                                level),
+                            2),
+             "near-leaf inside the fast subtree"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const unsigned pick = model.levelForBudget(mem_bytes, budget_ms, 7);
+    if (pick == 0) {
+        std::printf("no subtree level meets the %.2f ms budget at "
+                    "this capacity; consider Anubis-style fixed "
+                    "recovery or a smaller persistence domain.\n",
+                    budget_ms);
+        return 1;
+    }
+    const double coverage_gb =
+        capacity_gb / static_cast<double>(ipow(kTreeArity, pick - 1));
+    std::printf("recommendation: configure the AMNT subtree root at "
+                "level %u in BIOS\n"
+                "  -> fast subtree covers %.2f GB, worst-case "
+                "recovery %.2f ms (budget %.2f ms)\n",
+                pick, coverage_gb, model.amntMs(mem_bytes, pick),
+                budget_ms);
+    return 0;
+}

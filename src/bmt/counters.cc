@@ -1,0 +1,47 @@
+#include "bmt/counters.hh"
+
+#include "common/bitops.hh"
+
+namespace amnt::bmt
+{
+
+std::array<std::uint8_t, kBlockSize>
+CounterBlock::serialize() const
+{
+    std::array<std::uint8_t, kBlockSize> out{};
+    store64le(out.data(), major);
+    // Pack 64 seven-bit minors into the remaining 56 bytes.
+    std::size_t bitpos = 0;
+    std::uint8_t *base = out.data() + 8;
+    for (unsigned i = 0; i < kCounterArity; ++i) {
+        const std::uint32_t v = minors[i] & kMinorCounterMax;
+        const std::size_t byte = bitpos >> 3;
+        const unsigned shift = bitpos & 7;
+        base[byte] |= static_cast<std::uint8_t>(v << shift);
+        if (shift > 1)
+            base[byte + 1] |= static_cast<std::uint8_t>(v >> (8 - shift));
+        bitpos += kMinorCounterBits;
+    }
+    return out;
+}
+
+CounterBlock
+CounterBlock::deserialize(const std::array<std::uint8_t, kBlockSize> &raw)
+{
+    CounterBlock cb;
+    cb.major = load64le(raw.data());
+    std::size_t bitpos = 0;
+    const std::uint8_t *base = raw.data() + 8;
+    for (unsigned i = 0; i < kCounterArity; ++i) {
+        const std::size_t byte = bitpos >> 3;
+        const unsigned shift = bitpos & 7;
+        std::uint32_t v = base[byte] >> shift;
+        if (shift > 1)
+            v |= static_cast<std::uint32_t>(base[byte + 1]) << (8 - shift);
+        cb.minors[i] = static_cast<std::uint8_t>(v & kMinorCounterMax);
+        bitpos += kMinorCounterBits;
+    }
+    return cb;
+}
+
+} // namespace amnt::bmt

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Split-counter blocks for counter-mode encryption (Table 1 format).
+ *
+ * One 64 B counter block serves one 4 KB page: an 8-byte major counter
+ * shared by the page plus 64 seven-bit minor counters (64 x 7 = 448
+ * bits = 56 bytes), one per 64 B data block. A minor-counter overflow
+ * bumps the major counter, resets every minor, and forces the page to
+ * be re-encrypted — the engine models (and in functional mode
+ * performs) that re-encryption.
+ */
+
+#ifndef AMNT_BMT_COUNTERS_HH
+#define AMNT_BMT_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace amnt::bmt
+{
+
+/** In-core representation of one split-counter block. */
+struct CounterBlock
+{
+    std::uint64_t major = 0;
+    std::array<std::uint8_t, kCounterArity> minors{};
+
+    /**
+     * Increment the minor counter for @p slot.
+     * @return true when the minor overflowed; the caller must then
+     *         call overflowReset() and re-encrypt the page.
+     */
+    bool
+    increment(unsigned slot)
+    {
+        if (minors[slot] == kMinorCounterMax)
+            return true;
+        ++minors[slot];
+        return false;
+    }
+
+    /** Handle an overflow: bump major, zero all minors. */
+    void
+    overflowReset()
+    {
+        ++major;
+        minors.fill(0);
+    }
+
+    /** True iff the block was never written (all-zero encoding). */
+    bool
+    isZero() const
+    {
+        if (major != 0)
+            return false;
+        for (auto m : minors)
+            if (m != 0)
+                return false;
+        return true;
+    }
+
+    bool operator==(const CounterBlock &) const = default;
+
+    /** Serialize to the 64 B in-memory format (8 B major + packed 7-bit
+     *  minors). */
+    std::array<std::uint8_t, kBlockSize> serialize() const;
+
+    /** Parse the 64 B in-memory format. */
+    static CounterBlock
+    deserialize(const std::array<std::uint8_t, kBlockSize> &raw);
+};
+
+} // namespace amnt::bmt
+
+#endif // AMNT_BMT_COUNTERS_HH

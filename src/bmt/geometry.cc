@@ -1,0 +1,23 @@
+#include "bmt/geometry.hh"
+
+#include "common/log.hh"
+
+namespace amnt::bmt
+{
+
+Geometry::Geometry(std::uint64_t n_counter_blocks)
+{
+    if (n_counter_blocks == 0)
+        panic("Geometry requires at least one counter block");
+
+    // Pad to a power of 8 (>= 8) so every level is full.
+    paddedCounters_ = kTreeArity;
+    nodeLevels_ = 1;
+    while (paddedCounters_ < n_counter_blocks) {
+        paddedCounters_ *= kTreeArity;
+        ++nodeLevels_;
+    }
+    totalNodes_ = (paddedCounters_ - 1) / (kTreeArity - 1);
+}
+
+} // namespace amnt::bmt

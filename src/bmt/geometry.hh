@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Bonsai Merkle Tree geometry: pure index math, no storage.
+ *
+ * Levels are numbered the way the paper numbers them: the root is
+ * level 1 and level k holds 8^(k-1) nodes, so a subtree root placed at
+ * level 3 is one of 64 nodes and covers 1/64 of protected memory
+ * (128 MB of an 8 GB device). Counter blocks form one extra level
+ * below the deepest node level ("8-level BMT" for 8 GB = 7 node levels
+ * + the counter leaves).
+ */
+
+#ifndef AMNT_BMT_GEOMETRY_HH
+#define AMNT_BMT_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace amnt::bmt
+{
+
+/** Identifies one BMT node by level (root = 1) and index within it. */
+struct NodeRef
+{
+    unsigned level;      ///< 1 = root.
+    std::uint64_t index; ///< [0, 8^(level-1)).
+
+    bool operator==(const NodeRef &) const = default;
+};
+
+/**
+ * Geometry of an 8-ary BMT over a power-of-8-padded set of counter
+ * blocks. All functions are O(1) index arithmetic.
+ */
+class Geometry
+{
+  public:
+    /**
+     * @param n_counter_blocks Number of counter blocks (= pages of
+     *        protected data); padded up to a power of 8, minimum 8.
+     */
+    explicit Geometry(std::uint64_t n_counter_blocks);
+
+    /** Number of hash-node levels; root = level 1. */
+    unsigned nodeLevels() const { return nodeLevels_; }
+
+    /** Node levels + 1 for the counter-leaf level (paper's "8-level"). */
+    unsigned totalLevels() const { return nodeLevels_ + 1; }
+
+    /** Counter blocks after padding (a power of 8). */
+    std::uint64_t paddedCounters() const { return paddedCounters_; }
+
+    /** Number of nodes at @p level. */
+    std::uint64_t
+    nodesAt(unsigned level) const
+    {
+        return ipow(kTreeArity, level - 1);
+    }
+
+    /** Total hash nodes over all levels. */
+    std::uint64_t totalNodes() const { return totalNodes_; }
+
+    /** Counter blocks covered by one node at @p level. */
+    std::uint64_t
+    countersPerNode(unsigned level) const
+    {
+        return paddedCounters_ / nodesAt(level);
+    }
+
+    /** Node at @p level on the ancestral path of counter @p counter. */
+    NodeRef
+    ancestorOf(std::uint64_t counter, unsigned level) const
+    {
+        return {level, counter / countersPerNode(level)};
+    }
+
+    /** The deepest node level's node covering counter @p counter. */
+    NodeRef
+    leafNodeOf(std::uint64_t counter) const
+    {
+        return ancestorOf(counter, nodeLevels_);
+    }
+
+    /** Parent of a node; level must be > 1. */
+    static NodeRef
+    parentOf(NodeRef node)
+    {
+        return {node.level - 1, node.index / kTreeArity};
+    }
+
+    /** Child @p slot (0..7) of @p node. */
+    NodeRef
+    childOf(NodeRef node, unsigned slot) const
+    {
+        return {node.level + 1, node.index * kTreeArity + slot};
+    }
+
+    /** Which child slot of its parent @p node occupies. */
+    static unsigned
+    slotOf(NodeRef node)
+    {
+        return static_cast<unsigned>(node.index % kTreeArity);
+    }
+
+    /** Linear node id: nodes packed level-major starting at the root. */
+    std::uint64_t
+    linearId(NodeRef node) const
+    {
+        // Sum of sizes of levels 1..level-1 is (8^(level-1) - 1) / 7.
+        return (ipow(kTreeArity, node.level - 1) - 1) / (kTreeArity - 1) +
+               node.index;
+    }
+
+    /** Inverse of linearId(). */
+    NodeRef
+    nodeOfLinearId(std::uint64_t id) const
+    {
+        unsigned level = 1;
+        std::uint64_t level_size = 1;
+        while (id >= level_size) {
+            id -= level_size;
+            level_size *= kTreeArity;
+            ++level;
+        }
+        return {level, id};
+    }
+
+    /** True iff @p node is on the ancestral path of @p counter. */
+    bool
+    onPath(NodeRef node, std::uint64_t counter) const
+    {
+        return ancestorOf(counter, node.level) == node;
+    }
+
+    /** True iff @p node lies inside the subtree rooted at @p root. */
+    static bool
+    inSubtree(NodeRef node, NodeRef root)
+    {
+        if (node.level < root.level)
+            return false;
+        std::uint64_t idx = node.index;
+        for (unsigned l = node.level; l > root.level; --l)
+            idx /= kTreeArity;
+        return idx == root.index;
+    }
+
+    /**
+     * Region index of @p counter at @p level: which level-@p level
+     * node covers it. This is the "subtree region" of the paper.
+     */
+    std::uint64_t
+    regionOf(std::uint64_t counter, unsigned level) const
+    {
+        return counter / countersPerNode(level);
+    }
+
+  private:
+    std::uint64_t paddedCounters_;
+    std::uint64_t totalNodes_;
+    unsigned nodeLevels_;
+};
+
+} // namespace amnt::bmt
+
+#endif // AMNT_BMT_GEOMETRY_HH

@@ -1,0 +1,166 @@
+#include "bmt/tree.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace amnt::bmt
+{
+
+namespace
+{
+
+const mem::Block kZeroBlock{};
+const CounterBlock kZeroCounter{};
+
+bool
+isZeroBlock(const mem::Block &b)
+{
+    for (auto byte : b)
+        if (byte != 0)
+            return false;
+    return true;
+}
+
+} // namespace
+
+TreeState::TreeState(const mem::MemoryMap &map,
+                     const crypto::HashEngine &hash)
+    : map_(&map), hash_(&hash)
+{
+}
+
+const CounterBlock &
+TreeState::counter(std::uint64_t idx) const
+{
+    auto it = counters_.find(idx);
+    return it == counters_.end() ? kZeroCounter : it->second;
+}
+
+const mem::Block &
+TreeState::node(NodeRef ref) const
+{
+    auto it = nodes_.find(map_->geometry().linearId(ref));
+    return it == nodes_.end() ? kZeroBlock : it->second;
+}
+
+std::uint64_t
+TreeState::hashCounterBytes(std::uint64_t idx,
+                            const mem::Block &bytes) const
+{
+    if (isZeroBlock(bytes))
+        return 0;
+    const Addr tweak = map_->counterBase() + idx * kBlockSize;
+    return hash_->mac64(bytes.data(), bytes.size(), tweak);
+}
+
+std::uint64_t
+TreeState::hashNodeBytes(NodeRef ref, const mem::Block &bytes) const
+{
+    if (isZeroBlock(bytes))
+        return 0;
+    return hash_->mac64(bytes.data(), bytes.size(), map_->nodeAddrOf(ref));
+}
+
+mem::Block
+TreeState::counterBytes(std::uint64_t idx) const
+{
+    return counter(idx).serialize();
+}
+
+void
+TreeState::setEntry(NodeRef ref, unsigned slot, std::uint64_t value)
+{
+    auto [it, fresh] =
+        nodes_.try_emplace(map_->geometry().linearId(ref));
+    if (fresh)
+        it->second.fill(0);
+    store64le(it->second.data() + slot * kHashBytes, value);
+}
+
+void
+TreeState::updatePath(std::uint64_t idx)
+{
+    const Geometry &geo = map_->geometry();
+    // Deepest node holds the counter hash.
+    NodeRef ref = geo.leafNodeOf(idx);
+    setEntry(ref, static_cast<unsigned>(idx % kTreeArity),
+             hashCounterBytes(idx, counterBytes(idx)));
+    // Propagate to the root.
+    while (ref.level > 1) {
+        const NodeRef parent = Geometry::parentOf(ref);
+        setEntry(parent, Geometry::slotOf(ref),
+                 hashNodeBytes(ref, node(ref)));
+        ref = parent;
+    }
+}
+
+void
+TreeState::setCounter(std::uint64_t idx, const CounterBlock &value)
+{
+    counters_[idx] = value;
+    updatePath(idx);
+}
+
+std::uint64_t
+TreeState::rootHash() const
+{
+    return hashNodeBytes({1, 0}, node({1, 0}));
+}
+
+bool
+TreeState::verifyCounterBytes(std::uint64_t idx,
+                              const mem::Block &bytes) const
+{
+    const NodeRef parent = map_->geometry().leafNodeOf(idx);
+    const std::uint64_t stored = load64le(
+        node(parent).data() + (idx % kTreeArity) * kHashBytes);
+    return hashCounterBytes(idx, bytes) == stored;
+}
+
+bool
+TreeState::verifyNodeBytes(NodeRef ref, const mem::Block &bytes) const
+{
+    if (ref.level == 1)
+        return hashNodeBytes(ref, bytes) == rootHash();
+    const NodeRef parent = Geometry::parentOf(ref);
+    const std::uint64_t stored = load64le(
+        node(parent).data() + Geometry::slotOf(ref) * kHashBytes);
+    return hashNodeBytes(ref, bytes) == stored;
+}
+
+void
+TreeState::forEachCounter(
+    const std::function<void(std::uint64_t, const CounterBlock &)>
+        &visitor) const
+{
+    for (const auto &kv : counters_)
+        visitor(kv.first, kv.second);
+}
+
+void
+TreeState::forEachNode(
+    const std::function<void(NodeRef, const mem::Block &)> &visitor) const
+{
+    for (const auto &kv : nodes_)
+        visitor(map_->geometry().nodeOfLinearId(kv.first), kv.second);
+}
+
+std::uint64_t
+TreeState::rebuildFromNvm(const mem::NvmDevice &nvm)
+{
+    counters_.clear();
+    nodes_.clear();
+    const Addr lo = map_->counterBase();
+    const Addr hi = map_->hmacBase();
+    nvm.forEachBlockIn(lo, hi, [this, lo](Addr addr, const mem::Block &b) {
+        const std::uint64_t idx = (addr - lo) / kBlockSize;
+        counters_[idx] = CounterBlock::deserialize(b);
+    });
+    for (const auto &kv : counters_)
+        updatePath(kv.first);
+    return rootHash();
+}
+
+} // namespace amnt::bmt

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Architectural (up-to-date) Bonsai Merkle Tree state.
+ *
+ * TreeState holds the *latest logical values* of every touched counter
+ * block and tree node — the values the on-chip hardware would see
+ * through its root-of-trust chain. The NVM device separately holds the
+ * possibly-stale *persisted* values; which of the two a protocol keeps
+ * in sync is exactly the metadata-persistence policy under study.
+ *
+ * Sparse convention: untouched blocks are all-zero and their hash
+ * entry is 0, so only touched paths are materialized even for
+ * terabyte-scale trees.
+ */
+
+#ifndef AMNT_BMT_TREE_HH
+#define AMNT_BMT_TREE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bmt/counters.hh"
+#include "bmt/geometry.hh"
+#include "crypto/engines.hh"
+#include "mem/memory_map.hh"
+#include "mem/nvm_device.hh"
+
+namespace amnt::bmt
+{
+
+/** Up-to-date metadata values plus hash maintenance. */
+class TreeState
+{
+  public:
+    /**
+     * @param map  Address layout (provides the geometry and the
+     *             address tweaks that bind hashes to locations).
+     * @param hash Keyed MAC engine; not owned.
+     */
+    TreeState(const mem::MemoryMap &map, const crypto::HashEngine &hash);
+
+    /** Latest counter block for page @p idx (zero when untouched). */
+    const CounterBlock &counter(std::uint64_t idx) const;
+
+    /**
+     * Mutate the counter for page @p idx then refresh the ancestral
+     * hash path (deepest node up to the root register value).
+     */
+    void setCounter(std::uint64_t idx, const CounterBlock &value);
+
+    /** Latest bytes of node @p ref (zero block when untouched). */
+    const mem::Block &node(NodeRef ref) const;
+
+    /** 64-bit hash of the latest root node; 0 for an empty tree. */
+    std::uint64_t rootHash() const;
+
+    /** Hash entry value for counter @p idx (0 when zero block). */
+    std::uint64_t hashCounterBytes(std::uint64_t idx,
+                                   const mem::Block &bytes) const;
+
+    /** Hash entry value for node bytes at @p ref (0 when zero). */
+    std::uint64_t hashNodeBytes(NodeRef ref,
+                                const mem::Block &bytes) const;
+
+    /** Serialized latest counter block. */
+    mem::Block counterBytes(std::uint64_t idx) const;
+
+    /**
+     * Verify bytes fetched from NVM for counter @p idx against the
+     * hash entry stored in its (trusted) parent node.
+     */
+    bool verifyCounterBytes(std::uint64_t idx,
+                            const mem::Block &bytes) const;
+
+    /**
+     * Verify node bytes fetched from NVM against the parent entry
+     * (or the root register value for the root node).
+     */
+    bool verifyNodeBytes(NodeRef ref, const mem::Block &bytes) const;
+
+    /** Number of materialized counter blocks. */
+    std::size_t touchedCounters() const { return counters_.size(); }
+
+    /** Number of materialized (non-zero) tree nodes. */
+    std::size_t touchedNodes() const { return nodes_.size(); }
+
+    /** Iterate all materialized nodes: visitor(ref, bytes). */
+    void forEachNode(
+        const std::function<void(NodeRef, const mem::Block &)> &visitor)
+        const;
+
+    /** Iterate all touched counters: visitor(idx, block). */
+    void forEachCounter(
+        const std::function<void(std::uint64_t, const CounterBlock &)>
+            &visitor) const;
+
+    /**
+     * Rebuild the full architectural state from persisted counter
+     * blocks in @p nvm (the leaf-persistence recovery computation).
+     * Returns the recomputed root hash; the instance now reflects the
+     * persisted counters.
+     */
+    std::uint64_t rebuildFromNvm(const mem::NvmDevice &nvm);
+
+    /** Geometry shortcut. */
+    const Geometry &geometry() const { return map_->geometry(); }
+
+  private:
+    /** Recompute the parent-entry chain for counter @p idx. */
+    void updatePath(std::uint64_t idx);
+
+    /** Set entry @p slot of node @p ref to @p value. */
+    void setEntry(NodeRef ref, unsigned slot, std::uint64_t value);
+
+    const mem::MemoryMap *map_;
+    const crypto::HashEngine *hash_;
+    std::unordered_map<std::uint64_t, CounterBlock> counters_;
+    std::unordered_map<std::uint64_t, mem::Block> nodes_;
+};
+
+} // namespace amnt::bmt
+
+#endif // AMNT_BMT_TREE_HH

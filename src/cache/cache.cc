@@ -1,0 +1,162 @@
+#include "cache/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace amnt::cache
+{
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    if (config.sizeBytes == 0 || config.ways == 0)
+        panic("cache %s: zero size or associativity",
+              config.name.c_str());
+    const std::uint64_t total_lines = config.sizeBytes / kBlockSize;
+    if (total_lines < config.ways)
+        panic("cache %s: fewer lines than ways", config.name.c_str());
+    numSets_ = total_lines / config.ways;
+    if (!isPowerOfTwo(numSets_))
+        panic("cache %s: set count %llu not a power of two",
+              config.name.c_str(),
+              static_cast<unsigned long long>(numSets_));
+    lines_.resize(numSets_ * config.ways);
+}
+
+std::uint64_t
+Cache::setOf(Addr addr) const
+{
+    return blockOf(addr) & (numSets_ - 1);
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    const Addr tag = blockAddr(blockOf(addr));
+    Line *set = &lines_[setOf(addr) * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+bool
+Cache::access(Addr addr, bool set_dirty)
+{
+    Line *line = find(addr);
+    if (line == nullptr) {
+        stats_.inc("misses");
+        return false;
+    }
+    stats_.inc("hits");
+    line->lastUse = ++useClock_;
+    if (set_dirty)
+        line->dirty = true;
+    return true;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+bool
+Cache::isDirty(Addr addr) const
+{
+    const Line *line = find(addr);
+    return line != nullptr && line->dirty;
+}
+
+AccessResult
+Cache::insert(Addr addr, bool dirty)
+{
+    if (find(addr) != nullptr)
+        panic("cache %s: insert of resident block", config_.name.c_str());
+
+    Line *set = &lines_[setOf(addr) * config_.ways];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+
+    AccessResult result;
+    if (victim->valid) {
+        result.evictedValid = true;
+        result.evictedDirty = victim->dirty;
+        result.evictedAddr = victim->tag;
+        stats_.inc("evictions");
+        if (victim->dirty)
+            stats_.inc("dirty_evictions");
+    }
+    victim->tag = blockAddr(blockOf(addr));
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lastUse = ++useClock_;
+    stats_.inc("fills");
+    return result;
+}
+
+void
+Cache::clean(Addr addr)
+{
+    Line *line = find(addr);
+    if (line != nullptr)
+        line->dirty = false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Line *line = find(addr);
+    if (line == nullptr)
+        return false;
+    const bool was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return was_dirty;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+void
+Cache::forEachLine(const std::function<void(Addr, bool)> &visitor) const
+{
+    for (const auto &line : lines_) {
+        if (line.valid)
+            visitor(line.tag, line.dirty);
+    }
+}
+
+std::uint64_t
+Cache::cleanIf(const std::function<bool(Addr)> &pred)
+{
+    std::uint64_t cleaned = 0;
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty && pred(line.tag)) {
+            line.dirty = false;
+            ++cleaned;
+        }
+    }
+    return cleaned;
+}
+
+} // namespace amnt::cache

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and per-line dirty
+ * bits, used both for the on-chip data hierarchy and for the 64 kB
+ * security-metadata cache.
+ *
+ * The model is tag-only: block contents travel through the engines
+ * that own the cache, which keeps the same class usable by the
+ * content-free timing plane and the functional plane. Eviction of a
+ * dirty line invokes a caller-provided write-back handler.
+ */
+
+#ifndef AMNT_CACHE_CACHE_HH
+#define AMNT_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace amnt::cache
+{
+
+/** Construction parameters. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned ways = 8;
+    Cycle hitLatency = 2;
+};
+
+/** Outcome of an access. */
+struct AccessResult
+{
+    bool hit = false;
+    bool evictedValid = false;  ///< a victim line was displaced
+    bool evictedDirty = false;  ///< ... and it was dirty
+    Addr evictedAddr = 0;       ///< block address of the victim
+};
+
+/**
+ * Tag-array cache. Addresses are block aligned internally; any byte
+ * address within a block refers to the same line.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Cache name (statistics prefix). */
+    const std::string &name() const { return config_.name; }
+
+    /** Total line count. */
+    std::uint64_t lines() const { return numSets_ * config_.ways; }
+
+    /** Hit latency in cycles. */
+    Cycle hitLatency() const { return config_.hitLatency; }
+
+    /**
+     * Look up @p addr; on hit, refresh LRU and optionally set the
+     * dirty bit. Does not allocate on miss.
+     */
+    bool access(Addr addr, bool set_dirty);
+
+    /** Non-mutating presence test. */
+    bool contains(Addr addr) const;
+
+    /** Non-mutating dirty test (false when absent). */
+    bool isDirty(Addr addr) const;
+
+    /**
+     * Allocate a line for @p addr (must not currently hit). The LRU
+     * way of the set is the victim; its identity is reported in the
+     * result so the owner can write back content.
+     */
+    AccessResult insert(Addr addr, bool dirty);
+
+    /** Clear the dirty bit of a resident line (write-through commit). */
+    void clean(Addr addr);
+
+    /** Invalidate one line if present; returns whether it was dirty. */
+    bool invalidate(Addr addr);
+
+    /** Drop every line (power loss of a volatile array). */
+    void invalidateAll();
+
+    /**
+     * Visit every valid line: visitor(addr, dirty). Iteration order is
+     * unspecified. Used by AMNT's subtree-movement dirty scan.
+     */
+    void forEachLine(
+        const std::function<void(Addr, bool)> &visitor) const;
+
+    /** Clear dirty bits that @p pred selects; returns count cleaned. */
+    std::uint64_t cleanIf(const std::function<bool(Addr)> &pred);
+
+    /** Statistics: hits, misses, evictions, dirty evictions. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Hit rate over all accesses so far. */
+    double
+    hitRate() const
+    {
+        return stats_.ratio("hits", "misses");
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0; ///< block-aligned address
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setOf(Addr addr) const;
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+
+    CacheConfig config_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace amnt::cache
+
+#endif // AMNT_CACHE_CACHE_HH

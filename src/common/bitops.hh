@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Small integer/bit utilities used throughout the library.
+ */
+
+#ifndef AMNT_COMMON_BITOPS_HH
+#define AMNT_COMMON_BITOPS_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace amnt
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2(v); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Integer exponentiation. */
+constexpr std::uint64_t
+ipow(std::uint64_t base, unsigned exp)
+{
+    std::uint64_t r = 1;
+    while (exp--)
+        r *= base;
+    return r;
+}
+
+/** Ceiling division for unsigned operands. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p v up to the next multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Left-rotate of a 64-bit value. */
+constexpr std::uint64_t
+rotl64(std::uint64_t x, unsigned b)
+{
+    return (x << b) | (x >> (64 - b));
+}
+
+/** Right-rotate of a 32-bit value. */
+constexpr std::uint32_t
+rotr32(std::uint32_t x, unsigned b)
+{
+    return (x >> b) | (x << (32 - b));
+}
+
+/** Load a little-endian 64-bit value from bytes. */
+inline std::uint64_t
+load64le(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** Store a 64-bit value to bytes, little-endian. */
+inline void
+store64le(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        p[i] = static_cast<std::uint8_t>(v & 0xff);
+        v >>= 8;
+    }
+}
+
+/** Load a big-endian 32-bit value from bytes. */
+inline std::uint32_t
+load32be(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+/** Store a 32-bit value to bytes, big-endian. */
+inline void
+store32be(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+}
+
+/** Store a 64-bit value to bytes, big-endian. */
+inline void
+store64be(std::uint8_t *p, std::uint64_t v)
+{
+    store32be(p, static_cast<std::uint32_t>(v >> 32));
+    store32be(p + 4, static_cast<std::uint32_t>(v));
+}
+
+} // namespace amnt
+
+#endif // AMNT_COMMON_BITOPS_HH

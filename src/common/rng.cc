@@ -1,0 +1,35 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace amnt
+{
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+{
+    if (n == 0)
+        panic("ZipfSampler requires n >= 1");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf_[i] = sum;
+    }
+    const double inv = 1.0 / sum;
+    for (auto &c : cdf_)
+        c *= inv;
+    cdf_.back() = 1.0; // guard against rounding
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+} // namespace amnt

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All simulation randomness flows through Xoshiro256StarStar seeded
+ * explicitly, so every experiment in this repository is reproducible
+ * bit-for-bit. A Zipf sampler provides the skewed ("hot region")
+ * access distributions used by the workload generators.
+ */
+
+#ifndef AMNT_COMMON_RNG_HH
+#define AMNT_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+
+namespace amnt
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna: fast, high-quality, and
+ * deterministic across platforms (unlike std::mt19937 distributions).
+ */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0xa34d'7005'eedULL) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // SplitMix64 state expansion.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        for (auto &word : state_)
+            word = next();
+    }
+
+    /** Next uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl64(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded sampling (biased by at
+        // most 2^-64 per draw, irrelevant for simulation workloads).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf(alpha) sampler over [0, n) using inverse-CDF with a precomputed
+ * cumulative table. Suitable for the region-granular draws the workload
+ * generators make (n up to a few hundred thousand).
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     Number of ranks (must be >= 1).
+     * @param alpha Skew parameter; 0 degenerates to uniform.
+     */
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /** Draw a rank in [0, n); rank 0 is the most popular. */
+    std::uint64_t sample(Rng &rng) const;
+
+    /** Number of ranks. */
+    std::uint64_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace amnt
+
+#endif // AMNT_COMMON_RNG_HH

@@ -1,0 +1,58 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace amnt
+{
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << prefix << kv.first << " " << kv.second << "\n";
+    return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0)
+{
+    if (bins == 0 || !(hi > lo))
+        panic("Histogram requires bins >= 1 and hi > lo");
+}
+
+void
+Histogram::add(double sample, std::uint64_t weight)
+{
+    const double span = hi_ - lo_;
+    double pos = (sample - lo_) / span * static_cast<double>(bins_.size());
+    std::size_t idx;
+    if (pos < 0.0) {
+        idx = 0;
+    } else if (pos >= static_cast<double>(bins_.size())) {
+        idx = bins_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>(pos);
+    }
+    bins_[idx] += weight;
+    count_ += weight;
+    sum_ += sample * static_cast<double>(weight);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    const double span = hi_ - lo_;
+    return lo_ + span * static_cast<double>(i) /
+        static_cast<double>(bins_.size());
+}
+
+} // namespace amnt

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Lightweight statistics containers in the spirit of gem5's stats
+ * package: named scalar counters, ratios computed on demand, and
+ * fixed-bin histograms, all dumpable as text.
+ */
+
+#ifndef AMNT_COMMON_STATS_HH
+#define AMNT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amnt
+{
+
+/**
+ * A group of named scalar statistics. Cheap to increment, and
+ * serializable in a stable (sorted) order for test assertions and
+ * bench output.
+ */
+class StatGroup
+{
+  public:
+    /** Add @p delta to the counter named @p name (creating it at 0). */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set the counter named @p name. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Value of the counter, or 0 when never touched. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** a / (a + b) as a double; 0 when the denominator is 0. */
+    double
+    ratio(const std::string &num, const std::string &denom_extra) const
+    {
+        const double a = static_cast<double>(get(num));
+        const double b = static_cast<double>(get(denom_extra));
+        return (a + b) == 0.0 ? 0.0 : a / (a + b);
+    }
+
+    /** Reset all counters to zero (names are kept). */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second = 0;
+    }
+
+    /** All counters in sorted-name order. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Multi-line "name value" dump. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Histogram with uniform bins over [lo, hi); out-of-range samples are
+ * clamped into the edge bins. Used for Figure 3's accesses-per-address
+ * distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double sample, std::uint64_t weight = 1);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of recorded samples. */
+    double mean() const;
+
+    /** Bin contents. */
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+
+    /** Lower edge of bin @p i. */
+    double binLo(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace amnt
+
+#endif // AMNT_COMMON_STATS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses, which print
+ * the same rows/series the paper's tables and figures report.
+ */
+
+#ifndef AMNT_COMMON_TABLE_HH
+#define AMNT_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace amnt
+{
+
+/**
+ * Accumulates rows of string cells and renders them with aligned,
+ * space-padded columns. Numeric helpers format with fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with 2-space column gaps and a rule under the header. */
+    std::string render() const;
+
+    /** Format a double with @p precision fraction digits. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer with thousands separators. */
+    static std::string big(std::uint64_t v);
+
+    /** Format a ratio as a percentage string, e.g. "12.5%". */
+    static std::string pct(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace amnt
+
+#endif // AMNT_COMMON_TABLE_HH

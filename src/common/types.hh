@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fundamental types and geometry constants shared across the library.
+ *
+ * The configuration mirrors Table 1 of the AMNT paper: 64 B blocks,
+ * 4 KB pages, split encryption counters (one 64 B counter block per
+ * 4 KB page), and an 8-ary Bonsai Merkle Tree over counter blocks.
+ */
+
+#ifndef AMNT_COMMON_TYPES_HH
+#define AMNT_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace amnt
+{
+
+/** Physical (or simulated-physical) byte address. */
+using Addr = std::uint64_t;
+
+/** Index of a 64 B block (address >> 6). */
+using BlockId = std::uint64_t;
+
+/** Index of a 4 KB page (address >> 12). */
+using PageId = std::uint64_t;
+
+/** Simulated clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Simulated picoseconds (used by the memory timing model). */
+using Picos = std::uint64_t;
+
+/** Cache-block size in bytes: the unit of all memory traffic. */
+inline constexpr std::size_t kBlockSize = 64;
+
+/** log2 of the block size. */
+inline constexpr unsigned kBlockShift = 6;
+
+/** Page size in bytes. */
+inline constexpr std::size_t kPageSize = 4096;
+
+/** log2 of the page size. */
+inline constexpr unsigned kPageShift = 12;
+
+/** Blocks per page (also the arity of a counter block). */
+inline constexpr std::size_t kBlocksPerPage = kPageSize / kBlockSize;
+
+/** Arity of inner Bonsai Merkle Tree nodes (Table 1: "8-ary"). */
+inline constexpr std::size_t kTreeArity = 8;
+
+/**
+ * Arity of counter blocks: one 64 B counter block provides minor
+ * counters for the 64 blocks of one page (Table 1: "64-ary counters").
+ */
+inline constexpr std::size_t kCounterArity = 64;
+
+/** Bytes of one hash entry inside a BMT node (8 entries per node). */
+inline constexpr std::size_t kHashBytes = kBlockSize / kTreeArity;
+
+/** Bits in one split-counter minor counter. */
+inline constexpr unsigned kMinorCounterBits = 7;
+
+/** Maximum minor counter value before a page overflow re-encryption. */
+inline constexpr std::uint8_t kMinorCounterMax = (1u << kMinorCounterBits) - 1;
+
+/** Convert a byte address to the id of the block containing it. */
+constexpr BlockId
+blockOf(Addr addr)
+{
+    return addr >> kBlockShift;
+}
+
+/** Convert a byte address to the id of the page containing it. */
+constexpr PageId
+pageOf(Addr addr)
+{
+    return addr >> kPageShift;
+}
+
+/** First byte address of a block. */
+constexpr Addr
+blockAddr(BlockId block)
+{
+    return block << kBlockShift;
+}
+
+/** First byte address of a page. */
+constexpr Addr
+pageAddr(PageId page)
+{
+    return page << kPageShift;
+}
+
+/** Kind of a memory access as seen by the secure-memory engine. */
+enum class AccessType : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+} // namespace amnt
+
+#endif // AMNT_COMMON_TYPES_HH

@@ -1,0 +1,204 @@
+#include "core/amnt.hh"
+
+#include <vector>
+
+#include "common/log.hh"
+
+namespace amnt::core
+{
+
+AmntEngine::AmntEngine(const mee::MeeConfig &config, mem::NvmDevice &nvm)
+    : mee::MemoryEngine(config, nvm),
+      history_(config.amntHistoryEntries, 0)
+{
+    if (config.amntSubtreeLevel < 2 ||
+        config.amntSubtreeLevel > map_.geometry().nodeLevels())
+        fatal("AMNT subtree level %u outside [2, %u]",
+              config.amntSubtreeLevel, map_.geometry().nodeLevels());
+    if (config.amntInterval == 0)
+        fatal("AMNT interval must be non-zero");
+}
+
+Cycle
+AmntEngine::persistInside(const WriteContext &ctx)
+{
+    // Leaf persistence: counter + HMAC persist with the data write in
+    // one parallel burst; tree nodes stay dirty in the metadata
+    // cache. The subtree-root register (on-chip, non-volatile) is
+    // refreshed so recovery can re-anchor the recomputed subtree.
+    stats_.inc("subtree_hits");
+    writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
+    writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    refreshSubtreeRegister();
+    return persistCost(1);
+}
+
+Cycle
+AmntEngine::persistOutside(const WriteContext &ctx)
+{
+    // Strict persistence: read-modify-write the ancestral path and
+    // write everything through, ordered.
+    stats_.inc("subtree_misses");
+    unsigned misses = 0;
+    Cycle hook = 0;
+    const auto path = pathOf(ctx.counterIdx);
+    for (const auto &ref : path)
+        hook += ensureResident(map_.nodeAddrOf(ref), misses);
+    Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
+
+    writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
+    writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    for (const auto &ref : path)
+        writeThrough(map_.nodeAddrOf(ref));
+
+    lat += persistCost(3 + static_cast<unsigned>(path.size()));
+    return lat + hook;
+}
+
+Cycle
+AmntEngine::persistPolicy(const WriteContext &ctx)
+{
+    const std::uint64_t region = map_.geometry().regionOf(
+        ctx.counterIdx, config_.amntSubtreeLevel);
+
+    // The subtree register initializes on first use: before any
+    // write exists there is nothing to flush, so the very first
+    // written region is adopted as the fast subtree for free.
+    if (!bootstrapped_) {
+        bootstrapped_ = true;
+        region_ = region;
+        refreshSubtreeRegister();
+        history_.reset(region_);
+    }
+
+    // Hot-region tracking is off the authentication critical path.
+    history_.record(region);
+
+    const Cycle lat = region == region_ ? persistInside(ctx)
+                                        : persistOutside(ctx);
+
+    if (++writesThisInterval_ >= config_.amntInterval) {
+        writesThisInterval_ = 0;
+        considerMovement();
+        history_.reset(region_);
+    }
+    return lat;
+}
+
+void
+AmntEngine::propagateParent(Addr parent_addr)
+{
+    const bmt::NodeRef ref = map_.nodeOfAddr(parent_addr);
+    if (ref.level >= config_.amntSubtreeLevel &&
+        bmt::Geometry::inSubtree(ref, subtreeRoot())) {
+        markDirty(parent_addr);
+    } else {
+        writeThrough(parent_addr);
+    }
+}
+
+void
+AmntEngine::considerMovement()
+{
+    const std::uint64_t head = history_.head();
+    if (head != region_)
+        moveSubtreeTo(head);
+}
+
+void
+AmntEngine::moveSubtreeTo(std::uint64_t new_region)
+{
+    stats_.inc("subtree_movements");
+
+    // All inner nodes of the outgoing subtree must persist before the
+    // incoming one may run lazily. Only in-subtree nodes (and the
+    // propagation chain above the old root) can be dirty: everything
+    // else was written through. A dirty-bit scan of the metadata
+    // cache finds them (the 128-bit dirty-path bitmap in hardware).
+    std::vector<Addr> dirty_nodes;
+    mcache_.forEachLine([&](Addr addr, bool dirty) {
+        if (dirty && map_.classify(addr) == mem::Region::Tree)
+            dirty_nodes.push_back(addr);
+    });
+    for (Addr addr : dirty_nodes) {
+        writeThrough(addr);
+        stats_.inc("movement_flush_writes");
+    }
+
+    // Persist the path from the outgoing subtree root to the global
+    // root so the strict region is anchored again.
+    bmt::NodeRef ref = subtreeRoot();
+    while (true) {
+        writeThrough(map_.nodeAddrOf(ref));
+        stats_.inc("movement_flush_writes");
+        if (ref.level == 1)
+            break;
+        ref = bmt::Geometry::parentOf(ref);
+    }
+
+    region_ = new_region;
+    refreshSubtreeRegister();
+}
+
+void
+AmntEngine::crash()
+{
+    mee::MemoryEngine::crash();
+    // The history buffer is volatile; the subtree-root register and
+    // the global root register are non-volatile and survive.
+    history_.reset(region_);
+    writesThisInterval_ = 0;
+}
+
+mee::RecoveryReport
+AmntEngine::recover()
+{
+    mee::RecoveryReport report;
+
+    // Functionally rebuild and verify against both non-volatile
+    // anchors: the recomputed global root must match the root
+    // register, and the recomputed subtree root node must match the
+    // subtree register.
+    mee::RecoveryReport scratch;
+    rebuildAndVerify(scratch);
+    const bool subtree_ok = tree_->node(subtreeRoot()) ==
+                            subtreeRegister_;
+    report.success = scratch.success && subtree_ok;
+
+    // Work model: only the fast subtree was allowed to be stale, so
+    // recovery reads the subtree's counters and recomputes/rewrites
+    // only its interior nodes (everything outside was persisted
+    // strictly). Count the touched blocks inside the current region.
+    const unsigned level = config_.amntSubtreeLevel;
+    std::uint64_t counters_in = 0;
+    tree_->forEachCounter(
+        [&](std::uint64_t idx, const bmt::CounterBlock &) {
+            if (map_.geometry().regionOf(idx, level) == region_)
+                ++counters_in;
+        });
+    std::uint64_t nodes_in = 0;
+    tree_->forEachNode([&](bmt::NodeRef ref, const mem::Block &) {
+        if (ref.level >= level &&
+            bmt::Geometry::inSubtree(ref, subtreeRoot()))
+            ++nodes_in;
+    });
+    report.countersRecovered = counters_in;
+    report.nodesRecomputed = nodes_in;
+    report.blocksRead = counters_in + nodes_in;
+    report.blocksWritten = nodes_in;
+    report.estimatedMs =
+        recoveryMs(report.blocksRead, report.blocksWritten);
+    report.detail = "amnt: subtree-bounded recompute";
+    return report;
+}
+
+std::unique_ptr<mee::MemoryEngine>
+makeEngine(mee::Protocol p, const mee::MeeConfig &config,
+           mem::NvmDevice &nvm)
+{
+    if (p == mee::Protocol::Amnt)
+        return std::make_unique<AmntEngine>(config, nvm);
+    return mee::MemoryEngine::makeBaseline(p, config, nvm);
+}
+
+} // namespace amnt::core

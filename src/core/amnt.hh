@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A Midsummer Night's Tree (AMNT): the paper's contribution.
+ *
+ * AMNT is a dynamic hybrid metadata-persistence protocol — a "tree
+ * within a tree". One subtree of the BMT, rooted at a BIOS-configured
+ * level (default 3 → 64 candidate regions, 1/64 of memory each),
+ * follows leaf persistence: writes inside it persist only the counter
+ * and HMAC, leaving tree nodes lazy in the metadata cache. Everything
+ * outside the subtree follows strict persistence, so at a crash the
+ * only stale metadata in NVM lies inside the subtree, bounding
+ * recovery work by the subtree's coverage instead of memory size.
+ *
+ * A 96-byte history buffer tracks write frequency per subtree region;
+ * every interval (64 writes) the hottest region becomes the subtree.
+ * Moving the subtree flushes the dirty in-subtree metadata found by
+ * scanning the metadata cache's dirty bits and persists the path from
+ * the old subtree root to the global root, after which the new region
+ * may run lazily.
+ *
+ * On-chip cost (paper Table 3): one 64 B non-volatile register for
+ * the subtree root (plus the 64 B NV global root register every
+ * scheme needs) and 96 B of volatile history buffer — independent of
+ * memory size and metadata cache size.
+ */
+
+#ifndef AMNT_CORE_AMNT_HH
+#define AMNT_CORE_AMNT_HH
+
+#include <memory>
+
+#include "core/history_buffer.hh"
+#include "mee/engine.hh"
+
+namespace amnt::core
+{
+
+/** The AMNT secure-memory engine. */
+class AmntEngine : public mee::MemoryEngine
+{
+  public:
+    AmntEngine(const mee::MeeConfig &config, mem::NvmDevice &nvm);
+
+    mee::Protocol protocol() const override
+    {
+        return mee::Protocol::Amnt;
+    }
+
+    void crash() override;
+
+    mee::RecoveryReport recover() override;
+
+    /** Region index currently protected by the fast subtree. */
+    std::uint64_t currentRegion() const { return region_; }
+
+    /** Subtree root node of the current region. */
+    bmt::NodeRef
+    subtreeRoot() const
+    {
+        return {config_.amntSubtreeLevel, region_};
+    }
+
+    /** Fraction of data writes that hit the fast subtree (Fig. 7). */
+    double
+    subtreeHitRate() const
+    {
+        return stats_.ratio("subtree_hits", "subtree_misses");
+    }
+
+    /** Subtree movements performed (paper: ~0.3% of accesses). */
+    std::uint64_t
+    movements() const
+    {
+        return stats_.get("subtree_movements");
+    }
+
+    /** True iff counter @p counter_idx lies in the fast subtree. */
+    bool
+    inFastSubtree(std::uint64_t counter_idx) const
+    {
+        return map_.geometry().regionOf(
+                   counter_idx, config_.amntSubtreeLevel) == region_;
+    }
+
+    /** History buffer (testing). */
+    const HistoryBuffer &history() const { return history_; }
+
+  protected:
+    Cycle persistPolicy(const WriteContext &ctx) override;
+
+    /**
+     * Freshness propagation from dirty evictions: parents inside the
+     * fast subtree stay lazy; parents outside it (including the
+     * ancestors of the subtree root) are written through so that the
+     * stale set at any crash is confined to the subtree interior.
+     */
+    void propagateParent(Addr parent_addr) override;
+
+  private:
+    /** Leaf-persistence fast path for in-subtree writes. */
+    Cycle persistInside(const WriteContext &ctx);
+
+    /** Strict write-through path for out-of-subtree writes. */
+    Cycle persistOutside(const WriteContext &ctx);
+
+    /** Interval boundary: possibly move the subtree to the head. */
+    void considerMovement();
+
+    /** Flush old-subtree dirty metadata and the root path; retarget. */
+    void moveSubtreeTo(std::uint64_t new_region);
+
+    /** Refresh the NV subtree-root register from architecture. */
+    void
+    refreshSubtreeRegister()
+    {
+        subtreeRegister_ = tree_->node(subtreeRoot());
+    }
+
+    HistoryBuffer history_;
+    std::uint64_t region_ = 0;
+    std::uint64_t writesThisInterval_ = 0;
+
+    /** Cleared until the first data write adopts its region. */
+    bool bootstrapped_ = false;
+
+    /** NV on-chip register: latest bytes of the subtree root node. */
+    mem::Block subtreeRegister_{};
+};
+
+/**
+ * Engine factory covering the baselines and AMNT; the single entry
+ * point the simulator and benches use.
+ */
+std::unique_ptr<mee::MemoryEngine>
+makeEngine(mee::Protocol p, const mee::MeeConfig &config,
+           mem::NvmDevice &nvm);
+
+} // namespace amnt::core
+
+#endif // AMNT_CORE_AMNT_HH

@@ -1,0 +1,85 @@
+#include "core/history_buffer.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace amnt::core
+{
+
+HistoryBuffer::HistoryBuffer(unsigned entries, std::uint64_t incumbent)
+{
+    if (entries == 0)
+        panic("HistoryBuffer requires at least one entry");
+    entries_.resize(entries);
+    reset(incumbent);
+}
+
+void
+HistoryBuffer::reset(std::uint64_t incumbent)
+{
+    for (auto &e : entries_) {
+        e.region = 0;
+        e.count = 0;
+    }
+    entries_[0].region = incumbent;
+}
+
+void
+HistoryBuffer::record(std::uint64_t region)
+{
+    // Scan for the region (two cache accesses' worth of work in
+    // hardware, off the authentication critical path).
+    std::size_t slot = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].region == region &&
+            (entries_[i].count > 0 || i == 0)) {
+            slot = i;
+            break;
+        }
+    }
+    if (slot == entries_.size()) {
+        // Not present: claim an idle (or the weakest) non-head slot.
+        std::size_t victim = 1 % entries_.size();
+        for (std::size_t i = 1; i < entries_.size(); ++i) {
+            if (entries_[i].count == 0) {
+                victim = i;
+                break;
+            }
+            if (entries_[i].count < entries_[victim].count)
+                victim = i;
+        }
+        entries_[victim].region = region;
+        entries_[victim].count = 0;
+        slot = victim;
+    }
+
+    // Saturating increment (a log2(n)-bit counter in hardware).
+    if (entries_[slot].count < entries_.size())
+        ++entries_[slot].count;
+
+    // Swap-with-head keeps the maximum at the head; ties keep the
+    // incumbent to avoid needless subtree movement.
+    if (slot != 0 && entries_[slot].count > entries_[0].count)
+        std::swap(entries_[slot], entries_[0]);
+}
+
+std::uint64_t
+HistoryBuffer::countOf(std::uint64_t region) const
+{
+    for (const auto &e : entries_)
+        if (e.region == region && e.count > 0)
+            return e.count;
+    return entries_[0].region == region ? entries_[0].count : 0;
+}
+
+std::uint64_t
+HistoryBuffer::storageBits() const
+{
+    const unsigned idx_bits = ceilLog2(entries_.size());
+    return entries_.size() * 2ull * idx_bits;
+}
+
+} // namespace amnt::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * AMNT's hot-region history buffer (paper section 4.2).
+ *
+ * A small on-chip buffer of n entries tracking the n most recent
+ * memory writes at subtree-region granularity. Each entry holds a
+ * region index and a log2(n)-bit counter. The buffer is not fully
+ * sorted: a swap-with-head rule guarantees only that the head entry
+ * always holds the most frequently written region, which is all the
+ * subtree-movement decision needs. On a tie the incumbent (current
+ * subtree) stays at the head to avoid gratuitous subtree movement.
+ *
+ * For the default configuration (n = 64, subtree level 3 with 64
+ * regions) the buffer costs 64 x (6 + 6) = 768 bits = 96 bytes of
+ * volatile on-chip state (paper Table 3).
+ */
+
+#ifndef AMNT_CORE_HISTORY_BUFFER_HH
+#define AMNT_CORE_HISTORY_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace amnt::core
+{
+
+/** Swap-with-head frequency tracker over subtree regions. */
+class HistoryBuffer
+{
+  public:
+    /**
+     * @param entries Buffer entries (n); also the counter saturation.
+     * @param incumbent Region seeded at the head (current subtree).
+     */
+    explicit HistoryBuffer(unsigned entries,
+                           std::uint64_t incumbent = 0);
+
+    /** Record one write to @p region. */
+    void record(std::uint64_t region);
+
+    /** Region currently at the head (the most-written region). */
+    std::uint64_t head() const { return entries_[0].region; }
+
+    /** Zero all counters and seed the head with @p incumbent. */
+    void reset(std::uint64_t incumbent);
+
+    /** Count currently attributed to @p region (testing). */
+    std::uint64_t countOf(std::uint64_t region) const;
+
+    /** Volatile on-chip bits this buffer costs (Table 3). */
+    std::uint64_t storageBits() const;
+
+    /** Entry capacity. */
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t region = 0;
+        std::uint32_t count = 0;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace amnt::core
+
+#endif // AMNT_CORE_HISTORY_BUFFER_HH

@@ -1,0 +1,57 @@
+#include "core/hw_overhead.hh"
+
+#include "common/bitops.hh"
+
+namespace amnt::core
+{
+
+HwOverhead
+hwOverheadOf(mee::Protocol p, const mee::MeeConfig &config)
+{
+    HwOverhead hw;
+    const std::uint64_t lines =
+        config.metaCache.sizeBytes / kBlockSize;
+
+    switch (p) {
+      case mee::Protocol::Volatile:
+      case mee::Protocol::Strict:
+      case mee::Protocol::Leaf:
+      case mee::Protocol::Osiris:
+        // Only the NV root register, which the comparison excludes.
+        break;
+
+      case mee::Protocol::Anubis:
+        // One extra NV register for the shadow Merkle tree root; the
+        // shadow MT is cached entirely on-chip (37 kB for a 64 kB
+        // metadata cache) and the shadow table mirrors the cache in
+        // memory (37 kB) [Zubair & Awad; paper Table 3].
+        hw.nvOnChip = 64;
+        hw.volatileOnChip = config.metaCache.sizeBytes * 37 / 64;
+        hw.inMemory = config.metaCache.sizeBytes * 37 / 64;
+        break;
+
+      case mee::Protocol::Bmf:
+        // NV root cache (64 x 64 B = 4 kB by default) plus 6-bit
+        // frequency counters on every metadata cache line (768 B for
+        // a 64 kB cache).
+        hw.nvOnChip =
+            std::uint64_t(config.bmfRootCacheEntries) * kBlockSize;
+        hw.volatileOnChip = lines * 6 / 8;
+        break;
+
+      case mee::Protocol::Amnt: {
+          // One NV register for the subtree root; the history buffer
+          // is n entries of 2*log2(n) bits (96 B at n = 64),
+          // independent of cache and memory sizes.
+          hw.nvOnChip = 64;
+          const unsigned idx_bits = ceilLog2(config.amntHistoryEntries);
+          hw.volatileOnChip =
+              std::uint64_t(config.amntHistoryEntries) * 2 * idx_bits /
+              8;
+          break;
+      }
+    }
+    return hw;
+}
+
+} // namespace amnt::core

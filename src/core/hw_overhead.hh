@@ -1,0 +1,36 @@
+/**
+ * @file
+ * On-chip and in-memory area model for the compared protocols
+ * (paper Table 3, section 6.6).
+ *
+ * Non-volatile and volatile on-chip space are reported separately —
+ * they are different technologies (Flash vs SRAM) — and exclude the
+ * 64 kB metadata cache and the one NV root register every scheme
+ * needs. Anubis and BMF overheads scale with the metadata cache size;
+ * AMNT's is a constant 64 B NV + 96 B volatile.
+ */
+
+#ifndef AMNT_CORE_HW_OVERHEAD_HH
+#define AMNT_CORE_HW_OVERHEAD_HH
+
+#include <cstdint>
+
+#include "mee/engine.hh"
+
+namespace amnt::core
+{
+
+/** Area figures in bytes. */
+struct HwOverhead
+{
+    std::uint64_t nvOnChip = 0;
+    std::uint64_t volatileOnChip = 0;
+    std::uint64_t inMemory = 0;
+};
+
+/** Table-3 area model for protocol @p p under @p config. */
+HwOverhead hwOverheadOf(mee::Protocol p, const mee::MeeConfig &config);
+
+} // namespace amnt::core
+
+#endif // AMNT_CORE_HW_OVERHEAD_HH

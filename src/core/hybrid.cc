@@ -1,0 +1,74 @@
+#include "core/hybrid.hh"
+
+#include "common/log.hh"
+#include "mee/baselines.hh"
+
+namespace amnt::core
+{
+
+HybridEngine::HybridEngine(const HybridConfig &config) : config_(config)
+{
+    if (config.scmBytes == 0 || config.dramBytes == 0)
+        fatal("hybrid machine needs both partitions");
+
+    mee::MeeConfig scm_cfg = config.mee;
+    scm_cfg.dataBytes = config.scmBytes;
+    scmNvm_ = std::make_unique<mem::NvmDevice>(
+        mem::MemoryMap(scm_cfg.dataBytes).deviceBytes());
+    scm_ = std::make_unique<AmntEngine>(scm_cfg, *scmNvm_);
+
+    mee::MeeConfig dram_cfg = config.mee;
+    dram_cfg.dataBytes = config.dramBytes;
+    dram_cfg.nvmReadCycles = config.dramReadCycles;
+    dram_cfg.nvmWriteCycles = config.dramWriteCycles;
+    // Independent keys per partition.
+    dram_cfg.keySeed = config.mee.keySeed ^ 0xd7a3ULL;
+    dramNvm_ = std::make_unique<mem::NvmDevice>(
+        mem::MemoryMap(dram_cfg.dataBytes).deviceBytes(),
+        mem::NvmTiming{config.dramReadCycles, config.dramWriteCycles,
+                       25.0, 25.0});
+    dram_ = std::make_unique<mee::VolatileEngine>(dram_cfg, *dramNvm_);
+}
+
+Cycle
+HybridEngine::read(Addr addr, std::uint8_t *out)
+{
+    if (isScm(addr))
+        return scm_->read(addr, out);
+    return dram_->read(addr - config_.scmBytes, out);
+}
+
+Cycle
+HybridEngine::write(Addr addr, const std::uint8_t *data)
+{
+    if (isScm(addr))
+        return scm_->write(addr, data);
+    return dram_->write(addr - config_.scmBytes, data);
+}
+
+void
+HybridEngine::crash()
+{
+    scm_->crash();
+    // DRAM is volatile: device contents themselves are gone. Model
+    // the loss by replacing device and engine wholesale, as a reboot
+    // re-initializes the volatile tree from scratch.
+    mee::MeeConfig dram_cfg = config_.mee;
+    dram_cfg.dataBytes = config_.dramBytes;
+    dram_cfg.nvmReadCycles = config_.dramReadCycles;
+    dram_cfg.nvmWriteCycles = config_.dramWriteCycles;
+    dram_cfg.keySeed = config_.mee.keySeed ^ 0xd7a3ULL;
+    dramNvm_ = std::make_unique<mem::NvmDevice>(
+        mem::MemoryMap(dram_cfg.dataBytes).deviceBytes(),
+        mem::NvmTiming{config_.dramReadCycles,
+                       config_.dramWriteCycles, 25.0, 25.0});
+    dram_ = std::make_unique<mee::VolatileEngine>(dram_cfg, *dramNvm_);
+}
+
+mee::RecoveryReport
+HybridEngine::recover()
+{
+    return scm_->recover();
+}
+
+} // namespace amnt::core

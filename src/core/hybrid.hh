@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hybrid SCM+DRAM secure memory (paper section 7.3).
+ *
+ * "AMNT abstracts well to a hybrid SCM-DRAM machine as it does not
+ * require significant protocol or hardware changes. AMNT protects
+ * SCM, and a traditional BMT protects DRAM. This solution only
+ * requires an additional (volatile) register for the [DRAM] BMT and
+ * knowledge at the memory controller of the SCM/DRAM physical address
+ * partition."
+ *
+ * HybridEngine implements exactly that: one AMNT engine over the
+ * persistent partition and one volatile write-back engine over the
+ * DRAM partition, dispatched by physical address at the controller.
+ * A crash loses the DRAM partition entirely (contents and metadata —
+ * by definition) while the SCM partition recovers through AMNT.
+ */
+
+#ifndef AMNT_CORE_HYBRID_HH
+#define AMNT_CORE_HYBRID_HH
+
+#include <memory>
+
+#include "core/amnt.hh"
+#include "mee/engine.hh"
+
+namespace amnt::core
+{
+
+/** Construction parameters for the hybrid controller. */
+struct HybridConfig
+{
+    std::uint64_t scmBytes = 1ull << 30;
+    std::uint64_t dramBytes = 1ull << 30;
+    mee::MeeConfig mee; ///< dataBytes fields are overridden per side
+    Cycle dramReadCycles = 100;  ///< ~50 ns DRAM vs 305 ns PCM
+    Cycle dramWriteCycles = 100;
+};
+
+/**
+ * Address-partitioned secure memory controller:
+ * [0, scmBytes) is persistent SCM under AMNT; [scmBytes,
+ * scmBytes+dramBytes) is DRAM under the volatile scheme.
+ */
+class HybridEngine
+{
+  public:
+    explicit HybridEngine(const HybridConfig &config);
+
+    /** True iff @p addr falls in the persistent (SCM) partition. */
+    bool
+    isScm(Addr addr) const
+    {
+        return addr < config_.scmBytes;
+    }
+
+    /** Read one block; dispatches on the partition. */
+    Cycle read(Addr addr, std::uint8_t *out = nullptr);
+
+    /** Write one block; dispatches on the partition. */
+    Cycle write(Addr addr, const std::uint8_t *data = nullptr);
+
+    /**
+     * Power failure: DRAM loses everything (contents included); the
+     * SCM side loses only its volatile metadata state.
+     */
+    void crash();
+
+    /**
+     * Recover the SCM partition through AMNT; the DRAM partition
+     * restarts empty with a fresh volatile tree, as on any boot.
+     */
+    mee::RecoveryReport recover();
+
+    /** Violations across both partitions. */
+    std::uint64_t
+    violations() const
+    {
+        return scm_->violations() + dram_->violations();
+    }
+
+    /** The AMNT engine protecting SCM. */
+    AmntEngine &scm() { return *scm_; }
+
+    /** The volatile engine protecting DRAM. */
+    mee::MemoryEngine &dram() { return *dram_; }
+
+    /** Devices (testing / tamper injection). */
+    mem::NvmDevice &scmDevice() { return *scmNvm_; }
+    mem::NvmDevice &dramDevice() { return *dramNvm_; }
+
+  private:
+    HybridConfig config_;
+    std::unique_ptr<mem::NvmDevice> scmNvm_;
+    std::unique_ptr<mem::NvmDevice> dramNvm_;
+    std::unique_ptr<AmntEngine> scm_;
+    std::unique_ptr<mee::MemoryEngine> dram_;
+};
+
+} // namespace amnt::core
+
+#endif // AMNT_CORE_HYBRID_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Analytic recovery-time model (paper section 6.7 and Table 4) and
+ * the administrator-facing planner that inverts it.
+ *
+ * The recovery workload streams counter blocks in and recomputes the
+ * tree level by level, writing each level back before computing the
+ * next; with pipelined hashing the bottleneck is memory read
+ * bandwidth (12 GB/s across six DIMMs at an 8:1 read:write mix). A
+ * system administrator picks the AMNT subtree level in the BIOS to
+ * bound recovery time; levelForBudget() performs that selection.
+ */
+
+#ifndef AMNT_CORE_RECOVERY_PLANNER_HH
+#define AMNT_CORE_RECOVERY_PLANNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mee/engine.hh"
+
+namespace amnt::core
+{
+
+/** Bandwidth and geometry constants for the analytic model. */
+struct RecoveryModel
+{
+    double readBandwidthGBs = 12.0; ///< six DIMMs x 2 GB/s reads
+
+    /** Counter bytes for @p mem_bytes of data (1/64 of capacity). */
+    static std::uint64_t
+    counterBytes(std::uint64_t mem_bytes)
+    {
+        return mem_bytes / kCounterArity;
+    }
+
+    /**
+     * Leaf persistence: all counters are read and every tree level is
+     * re-read while the next is computed: C*(2 + 1/7) bytes of reads.
+     */
+    double leafMs(std::uint64_t mem_bytes) const;
+
+    /** Strict persistence: nothing stale. */
+    double strictMs(std::uint64_t) const { return 0.0; }
+
+    /**
+     * Anubis: bounded by the shadow table (metadata cache size), a
+     * short dependent-fetch chain per restored line; independent of
+     * memory size.
+     */
+    double anubisMs(std::uint64_t mcache_lines = 1024) const;
+
+    /**
+     * Osiris: the stop-loss trial adds data reads on top of the full
+     * leaf rebuild; Table 4's ratio to leaf (8.143x) is adopted as
+     * the traffic multiplier.
+     */
+    double osirisMs(std::uint64_t mem_bytes) const;
+
+    /** BMF: full persistent-root coverage, nothing stale. */
+    double bmfMs(std::uint64_t) const { return 0.0; }
+
+    /** AMNT at subtree level L: leaf work / 8^(L-1). */
+    double amntMs(std::uint64_t mem_bytes, unsigned level) const;
+
+    /** Fraction of the BMT stale at a crash for AMNT at @p level. */
+    static double
+    amntStaleFraction(unsigned level)
+    {
+        double f = 1.0;
+        for (unsigned l = 1; l < level; ++l)
+            f /= static_cast<double>(kTreeArity);
+        return f;
+    }
+
+    /**
+     * Administrator planner: deepest coverage (smallest level, i.e.
+     * largest fast subtree and best runtime) whose recovery time fits
+     * within @p budget_ms. Returns 0 when even the deepest level
+     * exceeds the budget.
+     */
+    unsigned levelForBudget(std::uint64_t mem_bytes, double budget_ms,
+                            unsigned max_level) const;
+};
+
+} // namespace amnt::core
+
+#endif // AMNT_CORE_RECOVERY_PLANNER_HH

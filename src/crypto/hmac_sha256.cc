@@ -1,0 +1,49 @@
+#include "crypto/hmac_sha256.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+
+namespace amnt::crypto
+{
+
+HmacSha256::HmacSha256(const void *key, std::size_t key_len)
+{
+    std::uint8_t k[64] = {};
+    if (key_len > sizeof(k)) {
+        const Sha256Digest d = Sha256::digest(key, key_len);
+        std::memcpy(k, d.data(), d.size());
+    } else {
+        std::memcpy(k, key, key_len);
+    }
+    for (std::size_t i = 0; i < sizeof(k); ++i) {
+        ipad_[i] = k[i] ^ 0x36;
+        opad_[i] = k[i] ^ 0x5c;
+    }
+}
+
+Sha256Digest
+HmacSha256::mac(const void *data, std::size_t len) const
+{
+    Sha256 inner;
+    inner.update(ipad_, sizeof(ipad_));
+    inner.update(data, len);
+    const Sha256Digest inner_digest = inner.final();
+
+    Sha256 outer;
+    outer.update(opad_, sizeof(opad_));
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.final();
+}
+
+std::uint64_t
+HmacSha256::mac64(const void *data, std::size_t len) const
+{
+    const Sha256Digest d = mac(data, len);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v = (v << 8) | d[static_cast<std::size_t>(i)];
+    return v;
+}
+
+} // namespace amnt::crypto

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * HMAC-SHA-256 (RFC 2104 / FIPS 198-1), implemented from scratch.
+ *
+ * The secure-memory engine stores 8-byte truncations of these MACs as
+ * the per-block data HMACs and as BMT node entries in the functional
+ * plane. Validated against RFC 4231 vectors.
+ */
+
+#ifndef AMNT_CRYPTO_HMAC_SHA256_HH
+#define AMNT_CRYPTO_HMAC_SHA256_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/sha256.hh"
+
+namespace amnt::crypto
+{
+
+/**
+ * Keyed HMAC-SHA-256 instance. The key is absorbed once at
+ * construction; each mac() call is then a two-pass SHA-256.
+ */
+class HmacSha256
+{
+  public:
+    /** Construct with an arbitrary-length key. */
+    HmacSha256(const void *key, std::size_t key_len);
+
+    /** Full 32-byte MAC over @p len bytes of @p data. */
+    Sha256Digest mac(const void *data, std::size_t len) const;
+
+    /** 64-bit truncation of the MAC (big-endian leading bytes). */
+    std::uint64_t mac64(const void *data, std::size_t len) const;
+
+  private:
+    std::uint8_t ipad_[64];
+    std::uint8_t opad_[64];
+};
+
+} // namespace amnt::crypto
+
+#endif // AMNT_CRYPTO_HMAC_SHA256_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The static metadata-persistence baselines of the paper:
+ *
+ *  - VolatileEngine: write-back secure memory with no crash
+ *    consistency. This is the normalization baseline of every figure.
+ *  - StrictEngine: every metadata update on the ancestral path is
+ *    written through to NVM (fast recovery, slow runtime).
+ *  - LeafEngine: counters + HMACs persist atomically with the data
+ *    write; tree nodes are lazy (fast runtime, slow recovery).
+ *  - OsirisEngine: leaf with stop-loss counter persistence every N
+ *    updates; recovery re-derives counters by HMAC trial [Ye et al.].
+ */
+
+#ifndef AMNT_MEE_BASELINES_HH
+#define AMNT_MEE_BASELINES_HH
+
+#include <unordered_map>
+
+#include "mee/engine.hh"
+
+namespace amnt::mee
+{
+
+/** Write-back baseline; not crash consistent. */
+class VolatileEngine : public MemoryEngine
+{
+  public:
+    using MemoryEngine::MemoryEngine;
+
+    Protocol protocol() const override { return Protocol::Volatile; }
+
+    /** The root register is volatile here: it is lost on crash. */
+    void
+    crash() override
+    {
+        MemoryEngine::crash();
+        rootRegister_ = 0;
+    }
+
+    RecoveryReport recover() override;
+
+  protected:
+    Cycle
+    persistPolicy(const WriteContext &) override
+    {
+        return 0;
+    }
+};
+
+/** Strict metadata persistence: write-through of the whole path. */
+class StrictEngine : public MemoryEngine
+{
+  public:
+    using MemoryEngine::MemoryEngine;
+
+    Protocol protocol() const override { return Protocol::Strict; }
+
+    RecoveryReport recover() override;
+
+  protected:
+    Cycle persistPolicy(const WriteContext &ctx) override;
+};
+
+/** Leaf metadata persistence: counters + HMACs write through. */
+class LeafEngine : public MemoryEngine
+{
+  public:
+    using MemoryEngine::MemoryEngine;
+
+    Protocol protocol() const override { return Protocol::Leaf; }
+
+    RecoveryReport recover() override;
+
+  protected:
+    Cycle persistPolicy(const WriteContext &ctx) override;
+};
+
+/** Osiris: stop-loss counter persistence. */
+class OsirisEngine : public MemoryEngine
+{
+  public:
+    using MemoryEngine::MemoryEngine;
+
+    Protocol protocol() const override { return Protocol::Osiris; }
+
+    RecoveryReport recover() override;
+
+  protected:
+    Cycle persistPolicy(const WriteContext &ctx) override;
+
+  private:
+    /** Updates since the last persist, per counter block. */
+    std::unordered_map<std::uint64_t, unsigned> sincePersist_;
+};
+
+} // namespace amnt::mee
+
+#endif // AMNT_MEE_BASELINES_HH

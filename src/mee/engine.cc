@@ -1,0 +1,551 @@
+#include "mee/engine.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace amnt::mee
+{
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::Volatile: return "volatile";
+      case Protocol::Strict: return "strict";
+      case Protocol::Leaf: return "leaf";
+      case Protocol::Osiris: return "osiris";
+      case Protocol::Anubis: return "anubis";
+      case Protocol::Bmf: return "bmf";
+      case Protocol::Amnt: return "amnt";
+    }
+    return "?";
+}
+
+MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm)
+    : config_(config), map_(config.dataBytes), nvm_(&nvm),
+      crypto_(crypto::CryptoSuite::make(config.plane, config.keySeed)),
+      mcache_(config.metaCache)
+{
+    if (nvm.capacity() < map_.deviceBytes())
+        fatal("NVM device (%llu B) smaller than required layout "
+              "(%llu B data + metadata)",
+              static_cast<unsigned long long>(nvm.capacity()),
+              static_cast<unsigned long long>(map_.deviceBytes()));
+    tree_ = std::make_unique<bmt::TreeState>(map_, *crypto_.hash);
+}
+
+Cycle
+MemoryEngine::onMetaInsert(Addr)
+{
+    return 0;
+}
+
+void
+MemoryEngine::onMetaUpdate(Addr)
+{
+}
+
+void
+MemoryEngine::onMetaEvict(Addr, bool)
+{
+}
+
+mem::Block
+MemoryEngine::latestBytes(Addr maddr) const
+{
+    switch (map_.classify(maddr)) {
+      case mem::Region::Counter:
+        return tree_->counterBytes(map_.counterIndexOfCounterAddr(maddr));
+      case mem::Region::Tree:
+        return tree_->node(map_.nodeOfAddr(maddr));
+      case mem::Region::Hmac: {
+          auto it = hmacLatest_.find(maddr);
+          if (it != hmacLatest_.end())
+              return it->second;
+          mem::Block zero{};
+          return zero;
+      }
+      case mem::Region::Data:
+        break;
+    }
+    panic("latestBytes on a data address");
+}
+
+namespace
+{
+
+bool
+blockIsZero(const mem::Block &b)
+{
+    for (auto byte : b)
+        if (byte != 0)
+            return false;
+    return true;
+}
+
+} // namespace
+
+void
+MemoryEngine::persistBytes(Addr maddr, const mem::Block &bytes)
+{
+    nvm_->writeBlock(maddr, bytes);
+    if (blockIsZero(bytes))
+        persistedMac_.erase(maddr);
+    else
+        persistedMac_[maddr] =
+            crypto_.hash->mac64(bytes.data(), bytes.size(), maddr);
+}
+
+void
+MemoryEngine::verifyFetched(Addr maddr, const mem::Block &bytes)
+{
+    // A fetched metadata block must be byte-identical to what the
+    // engine last persisted there; the check is a keyed MAC so any
+    // physical modification (splice, spoof, or replay of an older
+    // value) diverges with overwhelming probability. This is the
+    // fetch-time arm of the integrity chain; the crash-time arm is
+    // the recovery root comparison against the NV root register.
+    auto it = persistedMac_.find(maddr);
+    const std::uint64_t expect =
+        it == persistedMac_.end() ? 0 : it->second;
+    const std::uint64_t got =
+        blockIsZero(bytes)
+            ? 0
+            : crypto_.hash->mac64(bytes.data(), bytes.size(), maddr);
+    if (got != expect) {
+        switch (map_.classify(maddr)) {
+          case mem::Region::Counter:
+            flagViolation("counter", maddr);
+            break;
+          case mem::Region::Tree:
+            flagViolation("tree node", maddr);
+            break;
+          case mem::Region::Hmac:
+            flagViolation("hmac block", maddr);
+            break;
+          case mem::Region::Data:
+            panic("verifyFetched on a data address");
+        }
+    }
+}
+
+void
+MemoryEngine::handleEviction(const cache::AccessResult &res)
+{
+    if (!res.evictedValid)
+        return;
+    const Addr victim = res.evictedAddr;
+    onMetaEvict(victim, res.evictedDirty);
+    if (!res.evictedDirty)
+        return;
+
+    // Lazy write-back: the victim's latest bytes reach NVM now.
+    stats_.inc("meta_writebacks");
+    persistBytes(victim, latestBytes(victim));
+
+    // Propagate freshness: a dirty tree node's parent must now track
+    // the victim's new hash (counters already dirtied their leaf node
+    // at write time; the root node is anchored by the root register).
+    if (map_.classify(victim) == mem::Region::Tree) {
+        const bmt::NodeRef ref = map_.nodeOfAddr(victim);
+        if (ref.level > 1)
+            propagateParent(
+                map_.nodeAddrOf(bmt::Geometry::parentOf(ref)));
+    }
+}
+
+void
+MemoryEngine::propagateParent(Addr parent_addr)
+{
+    markDirty(parent_addr);
+}
+
+Cycle
+MemoryEngine::ensureResident(Addr maddr, unsigned &misses)
+{
+    maddr = blockAddr(blockOf(maddr));
+    if (mcache_.access(maddr, false))
+        return 0;
+    ++misses;
+    stats_.inc("meta_fetches");
+    mem::Block bytes;
+    nvm_->readBlock(maddr, bytes);
+    verifyFetched(maddr, bytes);
+    const cache::AccessResult res = mcache_.insert(maddr, false);
+    handleEviction(res);
+    return onMetaInsert(maddr);
+}
+
+Cycle
+MemoryEngine::ensureCounterChain(std::uint64_t counterIdx,
+                                 unsigned &misses)
+{
+    const Addr counter_addr =
+        map_.counterBase() + counterIdx * kBlockSize;
+    const unsigned before = misses;
+    Cycle hook = ensureResident(counter_addr, misses);
+    if (misses == before)
+        return hook; // counter cached: it is itself a root of trust.
+
+    // Counter missed: walk ancestors until a cached (trusted) node.
+    bmt::NodeRef ref = map_.geometry().leafNodeOf(counterIdx);
+    while (true) {
+        const Addr naddr = map_.nodeAddrOf(ref);
+        if (mcache_.contains(naddr)) {
+            mcache_.access(naddr, false); // refresh LRU of the anchor
+            break;
+        }
+        hook += ensureResident(naddr, misses);
+        if (ref.level == 1)
+            break; // anchored at the on-chip root register
+        ref = bmt::Geometry::parentOf(ref);
+    }
+    return hook;
+}
+
+void
+MemoryEngine::markDirty(Addr maddr)
+{
+    maddr = blockAddr(blockOf(maddr));
+    if (!mcache_.access(maddr, true)) {
+        // Rare: the block was displaced between residency setup and
+        // this update; re-fetch (read-modify-write).
+        stats_.inc("meta_fetches");
+        mem::Block bytes;
+        nvm_->readBlock(maddr, bytes);
+        verifyFetched(maddr, bytes);
+        const cache::AccessResult res = mcache_.insert(maddr, true);
+        handleEviction(res);
+        onMetaInsert(maddr);
+    }
+    onMetaUpdate(maddr);
+}
+
+void
+MemoryEngine::writeThrough(Addr maddr)
+{
+    maddr = blockAddr(blockOf(maddr));
+    stats_.inc("persist_writes");
+    persistBytes(maddr, latestBytes(maddr));
+    mcache_.clean(maddr);
+    onMetaUpdate(maddr);
+}
+
+std::vector<bmt::NodeRef>
+MemoryEngine::pathOf(std::uint64_t counterIdx) const
+{
+    std::vector<bmt::NodeRef> path;
+    bmt::NodeRef ref = map_.geometry().leafNodeOf(counterIdx);
+    path.push_back(ref);
+    while (ref.level > 1) {
+        ref = bmt::Geometry::parentOf(ref);
+        path.push_back(ref);
+    }
+    return path;
+}
+
+void
+MemoryEngine::flagViolation(const char *what, Addr addr)
+{
+    ++violations_;
+    stats_.inc("violations");
+    warn("integrity violation: %s at %llx", what,
+         static_cast<unsigned long long>(addr));
+}
+
+std::uint64_t
+MemoryEngine::dataMac(Addr addr, const std::uint8_t *cipher) const
+{
+    const Addr block = blockAddr(blockOf(addr));
+    const std::uint64_t idx = map_.counterIndexOf(block);
+    const bmt::CounterBlock &cb = tree_->counter(idx);
+    const unsigned slot =
+        static_cast<unsigned>(blockOf(block) % kBlocksPerPage);
+    const std::uint64_t tweak =
+        (block << 16) ^ (cb.major << 7) ^ cb.minors[slot];
+    if (cipher == nullptr)
+        return crypto_.hash->mac64("", 0, tweak);
+    return crypto_.hash->mac64(cipher, kBlockSize, tweak);
+}
+
+void
+MemoryEngine::updateHmacEntry(Addr addr)
+{
+    const Addr block = blockAddr(blockOf(addr));
+    const Addr haddr = map_.hmacAddrOf(block);
+    std::uint8_t cipher_buf[kBlockSize];
+    const std::uint8_t *cipher = nullptr;
+    if (config_.trackContents) {
+        mem::Block c;
+        nvm_->peek(block, c);
+        std::memcpy(cipher_buf, c.data(), kBlockSize);
+        cipher = cipher_buf;
+    }
+    auto [it, fresh] = hmacLatest_.try_emplace(haddr);
+    if (fresh)
+        nvm_->peek(haddr, it->second); // seed with persisted entries
+    store64le(it->second.data() + mem::MemoryMap::hmacOffsetOf(block),
+              dataMac(block, cipher));
+}
+
+Cycle
+MemoryEngine::reencryptPage(std::uint64_t counterIdx)
+{
+    stats_.inc("overflow_reencrypts");
+    const Addr page_base = counterIdx * kPageSize;
+    const bmt::CounterBlock &cb = tree_->counter(counterIdx);
+    std::uint64_t blocks_touched = 0;
+    for (std::uint64_t b = 0; b < kBlocksPerPage; ++b) {
+        const Addr baddr = page_base + b * kBlockSize;
+        if (config_.trackContents) {
+            auto it = plaintext_.find(blockOf(baddr));
+            if (it == plaintext_.end())
+                continue; // never written: nothing to re-encrypt
+            mem::Block cipher;
+            crypto_.enc->xorPad(baddr, cb.major,
+                                cb.minors[static_cast<unsigned>(b)],
+                                it->second.data(), cipher.data());
+            nvm_->writeBlock(baddr, cipher);
+        } else {
+            nvm_->touchRead(baddr);
+            nvm_->touchWrite(baddr);
+        }
+        updateHmacEntry(baddr);
+        ++blocks_touched;
+    }
+    // Persist every HMAC block of the page and the counter block:
+    // the re-encryption must be atomic with the counter bump.
+    for (std::uint64_t h = 0; h < kBlocksPerPage / kTreeArity; ++h)
+        writeThrough(map_.hmacAddrOf(page_base + h * kTreeArity *
+                                     kBlockSize));
+    writeThrough(map_.counterBase() + counterIdx * kBlockSize);
+
+    // Pipelined burst cost: reads and writes of the page stream.
+    return static_cast<Cycle>(blocks_touched / 8 + 1) *
+           (config_.nvmReadCycles + config_.nvmWriteCycles);
+}
+
+Cycle
+MemoryEngine::read(Addr addr, std::uint8_t *out)
+{
+    if (crashed_)
+        panic("MEE read after crash without recovery");
+    stats_.inc("data_reads");
+    const Addr block = blockAddr(blockOf(addr));
+    const std::uint64_t counter_idx = map_.counterIndexOf(block);
+
+    Cycle lat = config_.nvmReadCycles; // data fetch
+    mem::Block cipher{};
+    if (config_.trackContents)
+        nvm_->readBlock(block, cipher);
+    else
+        nvm_->touchRead(block);
+
+    const Addr haddr = map_.hmacAddrOf(block);
+    const bool hmac_was_cached = mcache_.contains(haddr);
+
+    unsigned misses = 0;
+    Cycle hook = 0;
+    hook += ensureCounterChain(counter_idx, misses);
+    hook += ensureResident(haddr, misses);
+    if (misses > 0) {
+        // Ancestor addresses are all known up front, so the fetch
+        // round is parallel; pad generation then serializes behind
+        // the counter arrival.
+        lat += config_.nvmReadCycles + config_.aesCycles;
+    }
+    lat += mcache_.hitLatency() + config_.hashCycles + hook;
+
+    if (config_.trackContents) {
+        const bmt::CounterBlock &cb = tree_->counter(counter_idx);
+        const unsigned slot =
+            static_cast<unsigned>(blockOf(block) % kBlocksPerPage);
+
+        // The HMAC entry the hardware sees: the trusted on-chip copy
+        // when the block was cached, the (attackable) NVM bytes when
+        // it was just fetched.
+        mem::Block hmac_block;
+        if (hmac_was_cached) {
+            hmac_block = latestBytes(haddr);
+        } else {
+            nvm_->peek(haddr, hmac_block);
+        }
+        const std::uint64_t stored = load64le(
+            hmac_block.data() + mem::MemoryMap::hmacOffsetOf(block));
+
+        // A block is untouched iff it was never written through this
+        // engine; its counter entry and HMAC entry are still zero.
+        const bool untouched =
+            plaintext_.find(blockOf(block)) == plaintext_.end();
+        if (!untouched && dataMac(block, cipher.data()) != stored)
+            flagViolation("data hmac", block);
+
+        if (out != nullptr) {
+            if (untouched) {
+                std::memset(out, 0, kBlockSize);
+            } else {
+                crypto_.enc->xorPad(block, cb.major, cb.minors[slot],
+                                    cipher.data(), out);
+            }
+        }
+    }
+    return lat;
+}
+
+Cycle
+MemoryEngine::writeCommon(Addr addr, const std::uint8_t *data,
+                          WriteContext &ctx)
+{
+    const Addr block = blockAddr(blockOf(addr));
+    const std::uint64_t counter_idx = map_.counterIndexOf(block);
+    ctx.dataAddr = block;
+    ctx.counterIdx = counter_idx;
+
+    const Addr counter_addr =
+        map_.counterBase() + counter_idx * kBlockSize;
+    const Addr leaf_node_addr =
+        map_.nodeAddrOf(map_.geometry().leafNodeOf(counter_idx));
+    const Addr haddr = map_.hmacAddrOf(block);
+
+    unsigned misses = 0;
+    Cycle hook = 0;
+    hook += ensureCounterChain(counter_idx, misses);
+    hook += ensureResident(leaf_node_addr, misses);
+    hook += ensureResident(haddr, misses);
+    Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
+    lat += mcache_.hitLatency() + config_.hashCycles + hook;
+
+    // Architectural update: bump the counter, refresh the hash path.
+    bmt::CounterBlock cb = tree_->counter(counter_idx);
+    const unsigned slot =
+        static_cast<unsigned>(blockOf(block) % kBlocksPerPage);
+    if (cb.increment(slot)) {
+        cb.overflowReset();
+        tree_->setCounter(counter_idx, cb);
+        ctx.overflowed = true;
+    } else {
+        tree_->setCounter(counter_idx, cb);
+    }
+
+    // Data to NVM (ciphertext under the fresh counter).
+    if (config_.trackContents) {
+        if (data == nullptr)
+            panic("functional MEE write without data");
+        mem::Block &plain = plaintext_[blockOf(block)];
+        std::memcpy(plain.data(), data, kBlockSize);
+        mem::Block cipher;
+        crypto_.enc->xorPad(block, cb.major, cb.minors[slot], data,
+                            cipher.data());
+        nvm_->writeBlock(block, cipher);
+    } else {
+        nvm_->touchWrite(block);
+    }
+
+    if (ctx.overflowed) {
+        lat += reencryptPage(counter_idx);
+    } else {
+        updateHmacEntry(block);
+    }
+
+    // Default lazy (write-back) marking; protocols may write through
+    // afterwards, which cleans these lines again.
+    markDirty(counter_addr);
+    markDirty(leaf_node_addr);
+    markDirty(haddr);
+
+    // The on-chip root register tracks the architectural root. For
+    // persistent protocols this register is non-volatile.
+    refreshRootRegister();
+    return lat;
+}
+
+Cycle
+MemoryEngine::write(Addr addr, const std::uint8_t *data)
+{
+    if (crashed_)
+        panic("MEE write after crash without recovery");
+    stats_.inc("data_writes");
+    WriteContext ctx;
+    Cycle lat = writeCommon(addr, data, ctx);
+    lat += persistPolicy(ctx);
+    return lat;
+}
+
+void
+MemoryEngine::crash()
+{
+    // Volatile on-chip state vanishes; NVM and NV registers survive.
+    mcache_.invalidateAll();
+    crashed_ = true;
+}
+
+void
+MemoryEngine::rebuildAndVerify(RecoveryReport &report)
+{
+    tree_ = std::make_unique<bmt::TreeState>(map_, *crypto_.hash);
+    const std::uint64_t root = tree_->rebuildFromNvm(*nvm_);
+
+    report.countersRecovered = tree_->touchedCounters();
+    report.nodesRecomputed = tree_->touchedNodes();
+    // The rebuild streams counters in and writes each recomputed
+    // level back before computing the next (paper section 6.7).
+    report.blocksRead += report.countersRecovered +
+                         report.nodesRecomputed;
+    report.blocksWritten += report.nodesRecomputed;
+
+    // Recomputed nodes become the new persisted state.
+    tree_->forEachNode([this](bmt::NodeRef ref, const mem::Block &b) {
+        persistBytes(map_.nodeAddrOf(ref), b);
+    });
+
+    // Restore architectural HMAC state from (persisted) NVM.
+    hmacLatest_.clear();
+    nvm_->forEachBlockIn(
+        map_.hmacBase(), map_.treeBase(),
+        [this](Addr a, const mem::Block &b) { hmacLatest_[a] = b; });
+
+    report.success = root == rootRegister_;
+    if (report.success)
+        crashed_ = false;
+}
+
+std::vector<Addr>
+MemoryEngine::staleMetadataBlocks() const
+{
+    std::vector<Addr> stale;
+    auto check = [this, &stale](Addr maddr, const mem::Block &latest) {
+        mem::Block persisted;
+        nvm_->peek(maddr, persisted);
+        if (persisted != latest)
+            stale.push_back(maddr);
+    };
+    tree_->forEachCounter(
+        [this, &check](std::uint64_t idx, const bmt::CounterBlock &cb) {
+            check(map_.counterBase() + idx * kBlockSize, cb.serialize());
+        });
+    tree_->forEachNode(
+        [this, &check](bmt::NodeRef ref, const mem::Block &b) {
+            check(map_.nodeAddrOf(ref), b);
+        });
+    for (const auto &kv : hmacLatest_)
+        check(kv.first, kv.second);
+    return stale;
+}
+
+double
+MemoryEngine::recoveryMs(std::uint64_t blocks_read,
+                         std::uint64_t blocks_written) const
+{
+    const double read_s =
+        static_cast<double>(blocks_read * kBlockSize) /
+        (nvm_->timing().readBandwidthGBs * 1e9);
+    const double write_s =
+        static_cast<double>(blocks_written * kBlockSize) /
+        (nvm_->timing().writeBandwidthGBs * 1e9);
+    return 1000.0 * std::max(read_s, write_s);
+}
+
+} // namespace amnt::mee

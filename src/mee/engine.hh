@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Secure-memory engine (memory encryption engine, MEE) framework.
+ *
+ * The engine sits at the memory-controller boundary: every read() is
+ * an LLC miss arriving from the cache hierarchy and every write() is a
+ * dirty write-back (a "data write" in the paper's terminology). The
+ * engine maintains:
+ *
+ *  - counter-mode encryption state (split counters, one block/page),
+ *  - per-block data HMACs,
+ *  - the Bonsai Merkle Tree over counter blocks,
+ *  - a 64 kB on-chip metadata cache shared by all metadata regions,
+ *  - the on-chip root register (non-volatile for persistent schemes).
+ *
+ * Architectural (latest) metadata values live in bmt::TreeState; the
+ * NVM device holds the persisted values. The delta between the two is
+ * exactly what a crash loses, so each metadata-persistence protocol is
+ * expressed as "which updates are written through, and what extra
+ * work the slow paths cost". Subclasses implement the paper's
+ * protocols: volatile write-back, strict, leaf, Osiris, Anubis, BMF,
+ * and AMNT (in src/core).
+ */
+
+#ifndef AMNT_MEE_ENGINE_HH
+#define AMNT_MEE_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bmt/tree.hh"
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "crypto/engines.hh"
+#include "mem/memory_map.hh"
+#include "mem/nvm_device.hh"
+
+namespace amnt::mee
+{
+
+/** The metadata-persistence protocols evaluated in the paper. */
+enum class Protocol
+{
+    Volatile, ///< write-back baseline, no crash consistency
+    Strict,   ///< write-through of the whole ancestral path
+    Leaf,     ///< counters + HMACs persisted, tree lazy
+    Osiris,   ///< leaf with stop-loss counter persistence
+    Anubis,   ///< shadow-table tracking of cached metadata
+    Bmf,      ///< Bonsai Merkle Forest persistent root set
+    Amnt,     ///< this paper: tree-within-a-tree hybrid
+};
+
+/** Human-readable protocol name (matches the paper's figure labels). */
+const char *protocolName(Protocol p);
+
+/** Engine configuration (defaults = paper Table 1 at 2 GHz). */
+struct MeeConfig
+{
+    std::uint64_t dataBytes = 1ull << 33; ///< 8 GB protected data
+
+    cache::CacheConfig metaCache{"mcache", 64 * 1024, 8, 2};
+
+    Cycle nvmReadCycles = 610;  ///< 305 ns
+    Cycle nvmWriteCycles = 782; ///< 391 ns
+    Cycle hashCycles = 40;      ///< pipelined MAC unit
+    Cycle aesCycles = 40;       ///< pad generation when not overlapped
+
+    /**
+     * Fraction of a single posted persist hidden under subsequent
+     * execution; serialized chains hide only this much of their first
+     * write. See DESIGN.md ("persist cost model").
+     */
+    double persistOverlap = 0.5;
+
+    crypto::CryptoPlane plane = crypto::CryptoPlane::Fast;
+    bool trackContents = false; ///< keep real data bytes (functional)
+    std::uint64_t keySeed = 1;
+
+    // Protocol-specific knobs.
+    unsigned osirisStopLoss = 4;    ///< persist counters every N updates
+    unsigned amntSubtreeLevel = 3;  ///< paper default (64 regions)
+    unsigned amntInterval = 64;     ///< writes per history interval
+    unsigned amntHistoryEntries = 64;
+    unsigned bmfRootCacheEntries = 64; ///< 4 kB NV cache
+    unsigned bmfInterval = 1024;       ///< writes between prune/merge
+};
+
+/** Outcome of crash recovery. */
+struct RecoveryReport
+{
+    bool success = false;
+    std::uint64_t blocksRead = 0;    ///< NVM blocks the procedure reads
+    std::uint64_t blocksWritten = 0; ///< NVM blocks it writes back
+    std::uint64_t countersRecovered = 0;
+    std::uint64_t nodesRecomputed = 0;
+    double estimatedMs = 0.0; ///< bandwidth-model time (Table 4)
+    std::string detail;
+};
+
+/**
+ * Base secure-memory engine: full read path, write-path skeleton, and
+ * the metadata cache/NVM plumbing shared by every protocol.
+ */
+class MemoryEngine
+{
+  public:
+    /**
+     * @param config Engine configuration.
+     * @param nvm    Backing device; must cover
+     *               MemoryMap(config.dataBytes).deviceBytes().
+     */
+    MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm);
+    virtual ~MemoryEngine() = default;
+
+    /** Which protocol this engine implements. */
+    virtual Protocol protocol() const = 0;
+
+    /**
+     * Service an LLC read miss for the block at @p addr.
+     * @param out Optional plaintext destination (functional plane).
+     * @return critical-path latency in cycles.
+     */
+    Cycle read(Addr addr, std::uint8_t *out = nullptr);
+
+    /**
+     * Service a data write arriving at memory for block @p addr.
+     * @param data Optional plaintext (functional plane).
+     * @return critical-path latency in cycles.
+     */
+    Cycle write(Addr addr, const std::uint8_t *data = nullptr);
+
+    /**
+     * Power failure: all volatile on-chip state (metadata cache,
+     * architectural metadata, volatile registers) is lost. NVM and
+     * non-volatile registers survive. The engine must not be used
+     * again until recover() succeeds.
+     */
+    virtual void crash();
+
+    /** Rebuild a trusted state from NVM + NV registers. */
+    virtual RecoveryReport recover() = 0;
+
+    /** Number of integrity violations detected so far. */
+    std::uint64_t violations() const { return violations_; }
+
+    /** Aggregate statistics. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Metadata cache (for hit-rate reporting). */
+    const cache::Cache &metaCache() const { return mcache_; }
+
+    /** Address map. */
+    const mem::MemoryMap &map() const { return map_; }
+
+    /** Backing device. */
+    mem::NvmDevice &nvm() { return *nvm_; }
+
+    /** Architectural metadata state (tests and recovery checks). */
+    const bmt::TreeState &treeState() const { return *tree_; }
+
+    /** Configuration. */
+    const MeeConfig &config() const { return config_; }
+
+    /** On-chip root register value (testing). */
+    std::uint64_t rootRegister() const { return rootRegister_; }
+
+    /**
+     * Crash-staleness audit: metadata blocks whose persisted (NVM)
+     * bytes differ from the architectural latest value. At a crash
+     * these are exactly the blocks that would be lost; tests use this
+     * to prove e.g. that AMNT's stale set is confined to the fast
+     * subtree.
+     */
+    std::vector<Addr> staleMetadataBlocks() const;
+
+    /**
+     * Factory for the baseline protocols in this directory
+     * (Volatile/Strict/Leaf/Osiris/Anubis/Bmf). AMNT engines are
+     * created via core::AmntEngine or core::makeEngine, which also
+     * handles the baseline kinds.
+     */
+    static std::unique_ptr<MemoryEngine>
+    makeBaseline(Protocol p, const MeeConfig &config,
+                 mem::NvmDevice &nvm);
+
+  protected:
+    /** Context handed to the protocol's persistence hook. */
+    struct WriteContext
+    {
+        Addr dataAddr = 0;
+        std::uint64_t counterIdx = 0;
+        bool overflowed = false; ///< page re-encryption happened
+    };
+
+    /**
+     * Persist policy: called once per write after the architectural
+     * update; returns the critical-path latency it adds.
+     */
+    virtual Cycle persistPolicy(const WriteContext &ctx) = 0;
+
+    /** Hook: a metadata block was inserted into the cache. */
+    virtual Cycle onMetaInsert(Addr maddr);
+
+    /** Hook: a cached metadata block's value changed. */
+    virtual void onMetaUpdate(Addr maddr);
+
+    /** Hook: a metadata block left the cache. */
+    virtual void onMetaEvict(Addr maddr, bool dirty);
+
+    /**
+     * Hook: a dirty tree node was written back and its parent must
+     * now track the new hash. The default keeps the parent lazy
+     * (dirty in cache); AMNT overrides to write parents outside the
+     * fast subtree straight through, preserving its staleness bound.
+     */
+    virtual void propagateParent(Addr parent_addr);
+
+    /**
+     * Ensure @p maddr is resident in the metadata cache, fetching
+     * (and verifying against the trust chain) on a miss.
+     * @param misses Incremented when a fetch was needed; the caller
+     *        charges one parallel NVM read round when misses > 0.
+     * @return extra critical-path latency added by protocol hooks
+     *         (e.g. Anubis shadow-table persists on inserts).
+     */
+    Cycle ensureResident(Addr maddr, unsigned &misses);
+
+    /**
+     * Fetch-and-verify the counter trust chain for @p counterIdx:
+     * counter block plus ancestor nodes up to the first cached one.
+     * @param misses Incremented per fetched block in this round.
+     * @return extra critical-path latency from protocol hooks.
+     */
+    Cycle ensureCounterChain(std::uint64_t counterIdx, unsigned &misses);
+
+    /** Mark a resident metadata block dirty (lazy write-back). */
+    void markDirty(Addr maddr);
+
+    /** Persist the latest bytes of @p maddr and clean its line. */
+    void writeThrough(Addr maddr);
+
+    /** Write metadata bytes to NVM and record their persisted MAC. */
+    void persistBytes(Addr maddr, const mem::Block &bytes);
+
+    /** Latest architectural bytes of a metadata block. */
+    mem::Block latestBytes(Addr maddr) const;
+
+    /** Critical-path cost of @p serialized_writes ordered persists. */
+    Cycle
+    persistCost(unsigned serialized_writes) const
+    {
+        if (serialized_writes == 0)
+            return 0;
+        const double w = static_cast<double>(serialized_writes) -
+                         config_.persistOverlap;
+        return static_cast<Cycle>(
+            w * static_cast<double>(config_.nvmWriteCycles));
+    }
+
+    /** Tree-path node refs for a counter, deepest first. */
+    std::vector<bmt::NodeRef> pathOf(std::uint64_t counterIdx) const;
+
+    /** Record an integrity violation. */
+    void flagViolation(const char *what, Addr addr);
+
+    /** Update the on-chip root register from architectural state. */
+    void
+    refreshRootRegister()
+    {
+        rootRegister_ = tree_->rootHash();
+    }
+
+    /**
+     * Rebuild architectural state from persisted counters and compare
+     * with the NV root register; shared by leaf-style recoveries.
+     * Traffic for reading @p counters_read counter blocks and writing
+     * the recomputed nodes is added to @p report.
+     */
+    void rebuildAndVerify(RecoveryReport &report);
+
+    /** Convert recovery traffic to milliseconds (Table 4 model). */
+    double recoveryMs(std::uint64_t blocks_read,
+                      std::uint64_t blocks_written) const;
+
+    MeeConfig config_;
+    mem::MemoryMap map_;
+    mem::NvmDevice *nvm_;
+    crypto::CryptoSuite crypto_;
+    std::unique_ptr<bmt::TreeState> tree_;
+    cache::Cache mcache_;
+    StatGroup stats_;
+
+    /** Latest HMAC-block bytes (architectural). */
+    std::unordered_map<Addr, mem::Block> hmacLatest_;
+
+    /**
+     * MAC of the bytes last persisted per metadata block; fetched
+     * blocks are verified against this (any physical tampering of
+     * NVM contents diverges from it). Lives conceptually in the
+     * integrity machinery, not in NVM, and survives crashes because
+     * it describes persistent state.
+     */
+    std::unordered_map<Addr, std::uint64_t> persistedMac_;
+
+    /** Plaintext contents when trackContents (functional plane). */
+    std::unordered_map<BlockId, mem::Block> plaintext_;
+
+    /** On-chip root register (NV except for Volatile). */
+    std::uint64_t rootRegister_ = 0;
+
+    /** Set between crash() and a successful recover(). */
+    bool crashed_ = false;
+
+    std::uint64_t violations_ = 0;
+
+  private:
+    /** Handle a (possibly dirty) eviction returned by the cache. */
+    void handleEviction(const cache::AccessResult &res);
+
+    /** Verify fetched NVM bytes for a metadata block. */
+    void verifyFetched(Addr maddr, const mem::Block &bytes);
+
+    /** Write path: counter increment + overflow + HMAC update. */
+    Cycle writeCommon(Addr addr, const std::uint8_t *data,
+                      WriteContext &ctx);
+
+    /** Re-encrypt an entire page after a minor-counter overflow. */
+    Cycle reencryptPage(std::uint64_t counterIdx);
+
+    /** Compute the HMAC entry for data block @p addr. */
+    std::uint64_t dataMac(Addr addr, const std::uint8_t *cipher) const;
+
+    /** Update the HMAC entry (architectural) for @p addr. */
+    void updateHmacEntry(Addr addr);
+};
+
+} // namespace amnt::mee
+
+#endif // AMNT_MEE_ENGINE_HH

@@ -1,0 +1,33 @@
+#include "common/log.hh"
+#include "mee/anubis.hh"
+#include "mee/baselines.hh"
+#include "mee/bmf.hh"
+#include "mee/engine.hh"
+
+namespace amnt::mee
+{
+
+std::unique_ptr<MemoryEngine>
+MemoryEngine::makeBaseline(Protocol p, const MeeConfig &config,
+                           mem::NvmDevice &nvm)
+{
+    switch (p) {
+      case Protocol::Volatile:
+        return std::make_unique<VolatileEngine>(config, nvm);
+      case Protocol::Strict:
+        return std::make_unique<StrictEngine>(config, nvm);
+      case Protocol::Leaf:
+        return std::make_unique<LeafEngine>(config, nvm);
+      case Protocol::Osiris:
+        return std::make_unique<OsirisEngine>(config, nvm);
+      case Protocol::Anubis:
+        return std::make_unique<AnubisEngine>(config, nvm);
+      case Protocol::Bmf:
+        return std::make_unique<BmfEngine>(config, nvm);
+      case Protocol::Amnt:
+        fatal("use core::makeEngine for the AMNT protocol");
+    }
+    panic("unknown protocol");
+}
+
+} // namespace amnt::mee

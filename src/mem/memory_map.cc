@@ -1,0 +1,55 @@
+#include "mem/memory_map.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace amnt::mem
+{
+
+MemoryMap::MemoryMap(std::uint64_t data_bytes)
+    : dataBytes_(alignUp(data_bytes, kPageSize)),
+      geo_(dataBytes_ / kPageSize)
+{
+    if (data_bytes == 0)
+        panic("MemoryMap requires non-zero data capacity");
+
+    counterBase_ = dataBytes_;
+    // One 64 B counter block per page, padded geometry included so the
+    // tree region can assume full levels.
+    const std::uint64_t counter_bytes = geo_.paddedCounters() * kBlockSize;
+    hmacBase_ = counterBase_ + counter_bytes;
+    const std::uint64_t hmac_bytes = dataBlocks() * kHashBytes;
+    treeBase_ = hmacBase_ + alignUp(hmac_bytes, kBlockSize);
+    const std::uint64_t tree_bytes = geo_.totalNodes() * kBlockSize;
+    deviceBytes_ = treeBase_ + tree_bytes;
+}
+
+Region
+MemoryMap::classify(Addr addr) const
+{
+    if (addr < counterBase_)
+        return Region::Data;
+    if (addr < hmacBase_)
+        return Region::Counter;
+    if (addr < treeBase_)
+        return Region::Hmac;
+    return Region::Tree;
+}
+
+bmt::NodeRef
+MemoryMap::nodeOfAddr(Addr addr) const
+{
+    if (addr < treeBase_)
+        panic("nodeOfAddr on non-tree address");
+    std::uint64_t id = (addr - treeBase_) / kBlockSize;
+    unsigned level = 1;
+    std::uint64_t level_size = 1;
+    while (id >= level_size) {
+        id -= level_size;
+        level_size *= kTreeArity;
+        ++level;
+    }
+    return {level, id};
+}
+
+} // namespace amnt::mem

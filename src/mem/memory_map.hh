@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Physical layout of protected data and its security metadata.
+ *
+ * The device is partitioned into four regions:
+ *
+ *   [0, data)                    application data (64 B blocks)
+ *   [counterBase, +counterBytes) split-counter blocks, one per page
+ *   [hmacBase, +hmacBytes)       data HMACs, 8 bytes per data block
+ *   [treeBase, +treeBytes)       BMT nodes, level-major order
+ *
+ * All metadata shares one address space with data so a single
+ * metadata cache (and a single NVM device) serves every region, as in
+ * the paper's configuration.
+ */
+
+#ifndef AMNT_MEM_MEMORY_MAP_HH
+#define AMNT_MEM_MEMORY_MAP_HH
+
+#include <cstdint>
+
+#include "bmt/geometry.hh"
+#include "common/types.hh"
+
+namespace amnt::mem
+{
+
+/** Region tags used for statistics and address classification. */
+enum class Region
+{
+    Data,
+    Counter,
+    Hmac,
+    Tree,
+};
+
+/** Computes and answers all address-layout questions. */
+class MemoryMap
+{
+  public:
+    /** @param data_bytes Protected data capacity (page aligned). */
+    explicit MemoryMap(std::uint64_t data_bytes);
+
+    /** Protected data capacity in bytes. */
+    std::uint64_t dataBytes() const { return dataBytes_; }
+
+    /** Number of 64 B data blocks. */
+    std::uint64_t dataBlocks() const { return dataBytes_ / kBlockSize; }
+
+    /** Number of pages == number of counter blocks (pre padding). */
+    std::uint64_t pages() const { return dataBytes_ / kPageSize; }
+
+    /** Tree geometry over the counter blocks. */
+    const bmt::Geometry &geometry() const { return geo_; }
+
+    /** Total device capacity needed (data + all metadata). */
+    std::uint64_t deviceBytes() const { return deviceBytes_; }
+
+    /** First byte of the counter region. */
+    Addr counterBase() const { return counterBase_; }
+
+    /** First byte of the HMAC region. */
+    Addr hmacBase() const { return hmacBase_; }
+
+    /** First byte of the tree-node region. */
+    Addr treeBase() const { return treeBase_; }
+
+    /** Which region @p addr falls in. */
+    Region classify(Addr addr) const;
+
+    /** Counter-block index for the page containing data @p addr. */
+    std::uint64_t
+    counterIndexOf(Addr data_addr) const
+    {
+        return pageOf(data_addr);
+    }
+
+    /** Address of the counter block for data @p addr. */
+    Addr
+    counterAddrOf(Addr data_addr) const
+    {
+        return counterBase_ + counterIndexOf(data_addr) * kBlockSize;
+    }
+
+    /** Address of the HMAC block holding the entry for data @p addr. */
+    Addr
+    hmacAddrOf(Addr data_addr) const
+    {
+        const std::uint64_t entry = blockOf(data_addr);
+        return hmacBase_ + (entry / kTreeArity) * kBlockSize;
+    }
+
+    /** Byte offset of the 8 B HMAC entry inside its HMAC block. */
+    static std::size_t
+    hmacOffsetOf(Addr data_addr)
+    {
+        return (blockOf(data_addr) % kTreeArity) * kHashBytes;
+    }
+
+    /** Address of a BMT node. */
+    Addr
+    nodeAddrOf(bmt::NodeRef node) const
+    {
+        return treeBase_ + geo_.linearId(node) * kBlockSize;
+    }
+
+    /** Inverse of nodeAddrOf (addr must be in the tree region). */
+    bmt::NodeRef nodeOfAddr(Addr addr) const;
+
+    /** Counter index for an address in the counter region. */
+    std::uint64_t
+    counterIndexOfCounterAddr(Addr counter_addr) const
+    {
+        return (counter_addr - counterBase_) / kBlockSize;
+    }
+
+  private:
+    std::uint64_t dataBytes_;
+    bmt::Geometry geo_;
+    Addr counterBase_;
+    Addr hmacBase_;
+    Addr treeBase_;
+    std::uint64_t deviceBytes_;
+};
+
+} // namespace amnt::mem
+
+#endif // AMNT_MEM_MEMORY_MAP_HH

@@ -1,0 +1,101 @@
+#include "mem/nvm_device.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace amnt::mem
+{
+
+NvmDevice::NvmDevice(std::uint64_t capacity, const NvmTiming &timing)
+    : capacity_(alignUp(capacity, kBlockSize)), timing_(timing)
+{
+    if (capacity == 0)
+        panic("NvmDevice requires non-zero capacity");
+}
+
+void
+NvmDevice::checkAddr(Addr addr) const
+{
+    if (addr >= capacity_)
+        panic("NVM access beyond capacity: %llx >= %llx",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(capacity_));
+}
+
+void
+NvmDevice::readBlock(Addr addr, Block &out)
+{
+    checkAddr(addr);
+    ++reads_;
+    auto it = store_.find(blockOf(addr));
+    if (it == store_.end())
+        out.fill(0);
+    else
+        out = it->second;
+}
+
+void
+NvmDevice::writeBlock(Addr addr, const Block &data)
+{
+    checkAddr(addr);
+    ++writes_;
+    store_[blockOf(addr)] = data;
+}
+
+void
+NvmDevice::peek(Addr addr, Block &out) const
+{
+    checkAddr(addr);
+    auto it = store_.find(blockOf(addr));
+    if (it == store_.end())
+        out.fill(0);
+    else
+        out = it->second;
+}
+
+void
+NvmDevice::touchRead(Addr addr)
+{
+    checkAddr(addr);
+    ++reads_;
+}
+
+void
+NvmDevice::touchWrite(Addr addr)
+{
+    checkAddr(addr);
+    ++writes_;
+}
+
+bool
+NvmDevice::tamper(Addr addr, std::size_t offset, std::uint8_t mask)
+{
+    checkAddr(addr);
+    if (offset >= kBlockSize)
+        panic("tamper offset out of range");
+    auto [it, fresh] = store_.try_emplace(blockOf(addr));
+    if (fresh)
+        it->second.fill(0);
+    it->second[offset] ^= mask;
+    return !fresh;
+}
+
+void
+NvmDevice::forEachBlockIn(
+    Addr lo, Addr hi,
+    const std::function<void(Addr, const Block &)> &visitor) const
+{
+    for (const auto &kv : store_) {
+        const Addr addr = blockAddr(kv.first);
+        if (addr >= lo && addr < hi)
+            visitor(addr, kv.second);
+    }
+}
+
+void
+NvmDevice::crash()
+{
+    // Contents persist across a crash; nothing to discard here.
+}
+
+} // namespace amnt::mem

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Non-volatile (storage-class) main-memory device model.
+ *
+ * Models the persistence domain of a DDR-based PCM part (Table 1:
+ * 305 ns reads, 391 ns writes): any block written here survives
+ * crash(); anything held only in on-chip volatile structures does not.
+ * Contents are stored sparsely so terabyte-scale address spaces can be
+ * simulated with memory proportional to the touched footprint.
+ *
+ * The device also provides the attack surface of the threat model:
+ * tamper() lets tests flip persisted bytes the way a physical attacker
+ * with access to the DIMM would.
+ */
+
+#ifndef AMNT_MEM_NVM_DEVICE_HH
+#define AMNT_MEM_NVM_DEVICE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace amnt::mem
+{
+
+/** One 64 B memory block. */
+using Block = std::array<std::uint8_t, kBlockSize>;
+
+/** Timing parameters of the device (Table 1 defaults at 2 GHz). */
+struct NvmTiming
+{
+    Cycle readCycles = 610;        ///< 305 ns at 2 GHz.
+    Cycle writeCycles = 782;       ///< 391 ns at 2 GHz.
+    double readBandwidthGBs = 12.0;  ///< recovery-time model (6 DIMMs).
+    double writeBandwidthGBs = 12.0; ///< recovery-time model.
+};
+
+/**
+ * Sparse, block-granular non-volatile store. Blocks never written
+ * read as zero. Every access updates traffic statistics, which the
+ * benches report as NVM read/write traffic.
+ */
+class NvmDevice
+{
+  public:
+    /** @param capacity Device capacity in bytes (block aligned). */
+    explicit NvmDevice(std::uint64_t capacity,
+                       const NvmTiming &timing = NvmTiming());
+
+    /** Device capacity in bytes. */
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Timing parameters. */
+    const NvmTiming &timing() const { return timing_; }
+
+    /** Read the block containing @p addr into @p out. */
+    void readBlock(Addr addr, Block &out);
+
+    /** Write @p data to the block containing @p addr (persists). */
+    void writeBlock(Addr addr, const Block &data);
+
+    /** Read contents without generating device traffic (model use). */
+    void peek(Addr addr, Block &out) const;
+
+    /**
+     * Account a read without touching contents (timing plane).
+     * Content-free and content-full paths share the same statistics.
+     */
+    void touchRead(Addr addr);
+
+    /** Account a write without touching contents (timing plane). */
+    void touchWrite(Addr addr);
+
+    /**
+     * Simulate a physical attack: XOR @p mask into byte @p offset of
+     * the block containing @p addr. Returns false when the block has
+     * never been written (still all-zero storage is tampered anyway).
+     */
+    bool tamper(Addr addr, std::size_t offset, std::uint8_t mask);
+
+    /**
+     * Crash: non-volatile contents are retained by definition. This
+     * only snapshots traffic counters so recovery traffic can be
+     * reported separately.
+     */
+    void crash();
+
+    /** Reads since construction. */
+    std::uint64_t reads() const { return reads_; }
+
+    /** Writes since construction. */
+    std::uint64_t writes() const { return writes_; }
+
+    /** Number of distinct blocks ever written. */
+    std::uint64_t blocksTouched() const { return store_.size(); }
+
+    /**
+     * Visit every block ever written whose first byte address lies in
+     * [lo, hi). Visitation order is unspecified. Used by recovery
+     * scans; does not count as device traffic (callers account the
+     * traffic they would generate explicitly).
+     */
+    void forEachBlockIn(
+        Addr lo, Addr hi,
+        const std::function<void(Addr, const Block &)> &visitor) const;
+
+  private:
+    void checkAddr(Addr addr) const;
+
+    std::uint64_t capacity_;
+    NvmTiming timing_;
+    std::unordered_map<BlockId, Block> store_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace amnt::mem
+
+#endif // AMNT_MEM_NVM_DEVICE_HH

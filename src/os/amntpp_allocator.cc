@@ -1,0 +1,117 @@
+#include "os/amntpp_allocator.hh"
+
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace amnt::os
+{
+
+AmntPpAllocator::AmntPpAllocator(std::uint64_t frames,
+                                 std::uint64_t frames_per_region,
+                                 unsigned max_order,
+                                 const AmntPpConfig &config)
+    : BuddyAllocator(frames, max_order),
+      framesPerRegion_(frames_per_region), config_(config)
+{
+    if (frames_per_region == 0)
+        panic("AMNT++ requires a non-zero region size");
+}
+
+void
+AmntPpAllocator::onReclaim()
+{
+    if (++reclaims_ % config_.restructureEvery == 0)
+        restructure();
+}
+
+std::optional<PageId>
+AmntPpAllocator::alloc(unsigned order)
+{
+    charge(costs_.allocBase);
+    for (unsigned o = order; o <= maxOrder(); ++o) {
+        if (freeLists_[o].empty())
+            continue;
+        if (regionOf(freeLists_[o].front()) == biasedRegion_)
+            return allocFrom(o, order);
+        // The head here is unbiased; keep looking upward for a
+        // biased chunk before settling for it.
+        for (unsigned above = o; above <= maxOrder(); ++above) {
+            if (!freeLists_[above].empty() &&
+                regionOf(freeLists_[above].front()) == biasedRegion_)
+                return allocFrom(above, order);
+        }
+        return allocFrom(o, order);
+    }
+    return std::nullopt;
+}
+
+void
+AmntPpAllocator::restructure()
+{
+    ++restructures_;
+
+    // Pass 1: scan a bounded prefix of each biased list and count
+    // free chunks per subtree region.
+    std::unordered_map<std::uint64_t, std::uint64_t> region_chunks;
+    for (unsigned order = 0;
+         order <= config_.maxOrderScanned && order < freeLists_.size();
+         ++order) {
+        std::size_t scanned = 0;
+        for (PageId frame : freeLists_[order]) {
+            if (scanned++ >= config_.scanLimit)
+                break;
+            ++region_chunks[regionOf(frame)];
+            charge(costs_.scanPerChunk);
+        }
+    }
+    if (region_chunks.empty())
+        return;
+
+    // The region with the greatest number of free chunks wins: it
+    // can absorb the most future allocations without spilling.
+    std::uint64_t best_region = 0;
+    std::uint64_t best_count = 0;
+    for (const auto &kv : region_chunks) {
+        if (kv.second > best_count ||
+            (kv.second == best_count && kv.first < best_region)) {
+            best_region = kv.first;
+            best_count = kv.second;
+        }
+    }
+    // Hysteresis: keep the incumbent biased region until a rival has
+    // twice its free chunks. Flapping between near-tied regions would
+    // scatter consecutive allocations — the exact problem the bias
+    // exists to prevent.
+    const auto incumbent = region_chunks.find(biasedRegion_);
+    if (incumbent != region_chunks.end() &&
+        incumbent->second * 2 >= best_count)
+        best_region = biasedRegion_;
+    biasedRegion_ = best_region;
+
+    // Pass 2: splice the winning region's chunks to the head of
+    // each list (built as a temporary biased list, then swapped in,
+    // so allocations never observe a partial restructure).
+    for (unsigned order = 0;
+         order <= config_.maxOrderScanned && order < freeLists_.size();
+         ++order) {
+        std::list<PageId> &lst = freeLists_[order];
+        std::list<PageId> biased;
+        std::size_t scanned = 0;
+        for (auto it = lst.begin();
+             it != lst.end() && scanned < config_.scanLimit;
+             ++scanned) {
+            charge(costs_.scanPerChunk);
+            if (regionOf(*it) == best_region) {
+                auto next = std::next(it);
+                biased.splice(biased.end(), lst, it);
+                it = next;
+            } else {
+                ++it;
+            }
+        }
+        lst.splice(lst.begin(), biased);
+    }
+}
+
+} // namespace amnt::os

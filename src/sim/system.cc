@@ -1,0 +1,272 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+
+namespace amnt::sim
+{
+
+SystemConfig
+SystemConfig::singleProgram(mee::Protocol p)
+{
+    SystemConfig cfg;
+    cfg.cores = 1;
+    cfg.protocol = p;
+    cfg.privateLevels = {
+        {"l1d", 32 * 1024, 8, 2},
+        {"l2", 1024 * 1024, 16, 12},
+    };
+    cfg.sharedLlc = std::nullopt;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::multiProgram(mee::Protocol p)
+{
+    SystemConfig cfg;
+    cfg.cores = 2;
+    cfg.protocol = p;
+    cfg.privateLevels = {
+        {"l1d", 32 * 1024, 8, 2},
+        {"l2", 128 * 1024, 8, 12},
+    };
+    cfg.sharedLlc = cache::CacheConfig{"l3", 1024 * 1024, 16, 30};
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::specQuad(mee::Protocol p)
+{
+    SystemConfig cfg;
+    cfg.cores = 4;
+    cfg.protocol = p;
+    cfg.privateLevels = {
+        {"l1d", 32 * 1024, 8, 2},
+        {"l2", 512 * 1024, 8, 12},
+    };
+    cfg.sharedLlc = cache::CacheConfig{"l3", 8 * 1024 * 1024, 16, 30};
+    return cfg;
+}
+
+System::System(const SystemConfig &config) : config_(config)
+{
+    if (config.cores == 0)
+        fatal("system needs at least one core");
+
+    mee::MeeConfig mee_cfg = config.mee;
+    const mem::MemoryMap probe(mee_cfg.dataBytes);
+    nvm_ = std::make_unique<mem::NvmDevice>(probe.deviceBytes());
+    engine_ = core::makeEngine(config.protocol, mee_cfg, *nvm_);
+
+    const std::uint64_t frames = mee_cfg.dataBytes / kPageSize;
+    const std::uint64_t frames_per_region =
+        engine_->map().geometry().countersPerNode(
+            mee_cfg.amntSubtreeLevel);
+    if (config.amntpp) {
+        allocator_ = std::make_unique<os::AmntPpAllocator>(
+            frames, frames_per_region, 10, config.amntppCfg);
+    } else {
+        allocator_ = std::make_unique<os::BuddyAllocator>(frames);
+    }
+    if (config.ageAllocator) {
+        Rng rng(config.allocatorSeed);
+        allocator_->ageSystem(rng, config.agedFreeFraction,
+                              config.agedRunPages);
+    }
+    if (auto *pp =
+            dynamic_cast<os::AmntPpAllocator *>(allocator_.get())) {
+        // The modified OS has been restructuring since boot; start
+        // from a biased free list (its cost was paid long ago, so it
+        // is excluded from the measured OS instruction account).
+        pp->restructure();
+        lastOsInstructions_ = allocator_->instructions();
+    }
+
+    if (config.sharedLlc)
+        llc_ = std::make_unique<cache::Cache>(*config.sharedLlc);
+
+    cores_.resize(config.cores);
+}
+
+core::AmntEngine *
+System::amnt()
+{
+    return dynamic_cast<core::AmntEngine *>(engine_.get());
+}
+
+void
+System::addProcess(const WorkloadConfig &workload)
+{
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        Core &c = cores_[i];
+        if (c.workload != nullptr)
+            continue;
+
+        c.workload = std::make_unique<Workload>(workload);
+        c.pageTable = std::make_unique<os::PageTable>(*allocator_);
+        c.rng.reseed(workload.seed ^ (0xc0feULL + i));
+
+        std::vector<cache::Cache *> path;
+        for (const auto &level : config_.privateLevels) {
+            cache::CacheConfig cc = level;
+            cc.name = level.name + "." + std::to_string(i);
+            c.privateCaches.push_back(
+                std::make_unique<cache::Cache>(cc));
+            path.push_back(c.privateCaches.back().get());
+        }
+        if (llc_)
+            path.push_back(llc_.get());
+
+        c.hierarchy = std::make_unique<cache::CacheHierarchy>(
+            path,
+            [this](Addr a) { return engine_->read(a); },
+            [this](Addr a) { return engine_->write(a); });
+
+        // Initialization phase: programs allocate and touch their
+        // core (hot) data structures up front, which is what makes
+        // hot sets physically contiguous. Unmeasured, like the rest
+        // of the pre-ROI execution.
+        const auto hot_pages = static_cast<std::uint64_t>(
+            static_cast<double>(workload.footprintPages) *
+            workload.hotPagesFraction);
+        for (std::uint64_t p = 0; p < hot_pages; ++p)
+            c.pageTable->translate(pageAddr(p));
+        lastOsInstructions_ = allocator_->instructions();
+        return;
+    }
+    fatal("more processes than cores");
+}
+
+void
+System::chargeOs(Core &c)
+{
+    const std::uint64_t now = allocator_->instructions();
+    if (now != lastOsInstructions_) {
+        const std::uint64_t delta = now - lastOsInstructions_;
+        lastOsInstructions_ = now;
+        osInstructions_ += delta;
+        c.cycles += delta * config_.baseCpi;
+    }
+}
+
+void
+System::step(Core &c)
+{
+    ++c.instructions;
+    c.cycles += config_.baseCpi;
+
+    if (!c.workload->issuesMemRef(c.rng))
+        return;
+
+    const MemRef ref = c.workload->next();
+    if (ref.churnPage)
+        c.pageTable->unmapPage(ref.churnVictim);
+
+    const Addr paddr = c.pageTable->translate(ref.vaddr);
+    if (config_.recordAccessHistogram)
+        ++histogram_[pageOf(paddr)];
+
+    c.cycles += c.hierarchy->access(paddr, ref.type);
+    if (ref.flush) {
+        // Persistence-model flush: the dirty line is written through
+        // to the secure memory controller on the critical path.
+        c.cycles += engine_->write(paddr);
+    }
+    chargeOs(c);
+}
+
+System::Snapshot
+System::snapshot() const
+{
+    Snapshot s;
+    for (const auto &c : cores_) {
+        s.coreCycles.push_back(c.cycles);
+        s.coreInstructions.push_back(c.instructions);
+        s.memReads.push_back(c.hierarchy->memReads());
+        s.memWrites.push_back(c.hierarchy->memWrites());
+        s.faults.push_back(c.pageTable->faults());
+    }
+    s.osInstructions = osInstructions_;
+    s.mcacheHits = engine_->metaCache().stats().get("hits");
+    s.mcacheMisses = engine_->metaCache().stats().get("misses");
+    s.subtreeHits = engine_->stats().get("subtree_hits");
+    s.subtreeMisses = engine_->stats().get("subtree_misses");
+    s.movements = engine_->stats().get("subtree_movements");
+    return s;
+}
+
+void
+System::advance(std::uint64_t n, std::uint64_t &daemon_clock)
+{
+    auto *pp = dynamic_cast<os::AmntPpAllocator *>(allocator_.get());
+
+    // Round-robin lockstep in small quanta.
+    constexpr std::uint64_t kQuantum = 64;
+    std::uint64_t done = 0;
+    while (done < n) {
+        const std::uint64_t q = std::min(kQuantum, n - done);
+        for (auto &c : cores_) {
+            for (std::uint64_t i = 0; i < q; ++i)
+                step(c);
+        }
+        done += q;
+        daemon_clock += q;
+        if (config_.amntpp && pp != nullptr &&
+            daemon_clock >= config_.daemonEvery) {
+            // Background reclamation pass (kswapd analogue).
+            daemon_clock = 0;
+            pp->restructure();
+            chargeOs(cores_[0]);
+        }
+    }
+}
+
+RunResult
+System::run(std::uint64_t instructions_per_core,
+            std::uint64_t warmup_per_core)
+{
+    for (auto &c : cores_) {
+        if (c.workload == nullptr)
+            fatal("run() before every core has a process");
+    }
+
+    std::uint64_t daemon_clock = 0;
+    if (warmup_per_core > 0)
+        advance(warmup_per_core, daemon_clock);
+    const Snapshot before = snapshot();
+    advance(instructions_per_core, daemon_clock);
+    const Snapshot after = snapshot();
+
+    RunResult res;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        res.cycles = std::max(res.cycles, after.coreCycles[i] -
+                                              before.coreCycles[i]);
+        res.appInstructions +=
+            after.coreInstructions[i] - before.coreInstructions[i];
+        res.memReads += after.memReads[i] - before.memReads[i];
+        res.memWrites += after.memWrites[i] - before.memWrites[i];
+        res.pageFaults += after.faults[i] - before.faults[i];
+    }
+    res.dataAccesses = res.memReads + res.memWrites;
+    res.osInstructions = after.osInstructions - before.osInstructions;
+
+    const std::uint64_t mhits = after.mcacheHits - before.mcacheHits;
+    const std::uint64_t mmiss =
+        after.mcacheMisses - before.mcacheMisses;
+    res.mcacheHitRate =
+        mhits + mmiss == 0
+            ? 0.0
+            : static_cast<double>(mhits) /
+                  static_cast<double>(mhits + mmiss);
+    const std::uint64_t shits = after.subtreeHits - before.subtreeHits;
+    const std::uint64_t smiss =
+        after.subtreeMisses - before.subtreeMisses;
+    res.subtreeHitRate =
+        shits + smiss == 0
+            ? 0.0
+            : static_cast<double>(shits) /
+                  static_cast<double>(shits + smiss);
+    res.subtreeMovements = after.movements - before.movements;
+    return res;
+}
+
+} // namespace amnt::sim

@@ -1,0 +1,100 @@
+#include "sim/trace.hh"
+
+#include <cstring>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace amnt::sim
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'A', 'M', 'N', 'T', 'T', 'R', 'C', '1'};
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordBytes = 9;
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    if (file_ == nullptr)
+        fatal("cannot open trace '%s' for writing", path.c_str());
+    std::uint8_t header[kHeaderBytes] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    header[8] = 1; // version
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
+        fatal("short write on trace header");
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+TraceWriter::append(const MemRef &ref)
+{
+    std::uint8_t rec[kRecordBytes];
+    store64le(rec, ref.vaddr);
+    rec[8] = static_cast<std::uint8_t>(
+        (ref.type == AccessType::Write ? 1 : 0) |
+        (ref.flush ? 2 : 0));
+    if (std::fwrite(rec, 1, sizeof(rec), file_) != sizeof(rec))
+        fatal("short write on trace record");
+    ++count_;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (file_ == nullptr)
+        fatal("cannot open trace '%s'", path.c_str());
+    std::uint8_t header[kHeaderBytes];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header) ||
+        std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        fatal("'%s' is not an AMNT trace", path.c_str());
+    if (header[8] != 1)
+        fatal("unsupported trace version %u", header[8]);
+    dataStart_ = std::ftell(file_);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(MemRef &out)
+{
+    std::uint8_t rec[kRecordBytes];
+    if (std::fread(rec, 1, sizeof(rec), file_) != sizeof(rec))
+        return false;
+    out = MemRef{};
+    out.vaddr = load64le(rec);
+    out.type = (rec[8] & 1) != 0 ? AccessType::Write
+                                 : AccessType::Read;
+    out.flush = (rec[8] & 2) != 0;
+    return true;
+}
+
+void
+TraceReader::rewind()
+{
+    std::fseek(file_, dataStart_, SEEK_SET);
+}
+
+std::uint64_t
+recordTrace(Workload &source, std::uint64_t n, const std::string &path)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < n; ++i)
+        writer.append(source.next());
+    return writer.count();
+}
+
+} // namespace amnt::sim

@@ -1,0 +1,103 @@
+#include "sim/workload.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/trace.hh"
+
+namespace amnt::sim
+{
+
+Workload::~Workload() = default;
+
+Workload::Workload(const WorkloadConfig &config)
+    : config_(config), rng_(config.seed),
+      hotZipf_(std::max<std::uint64_t>(
+                   1, static_cast<std::uint64_t>(
+                          static_cast<double>(config.footprintPages) *
+                          config.hotPagesFraction)),
+               config.zipfAlpha),
+      hotPages_(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 static_cast<double>(config.footprintPages) *
+                 config.hotPagesFraction)))
+{
+    if (config.footprintPages == 0)
+        panic("workload needs a non-zero footprint");
+    if (!config.traceFile.empty())
+        trace_ = std::make_unique<TraceReader>(config.traceFile);
+}
+
+Addr
+Workload::pickPage(bool is_write)
+{
+    const double hot_p =
+        is_write ? config_.writeHotFraction : config_.readHotFraction;
+    if (rng_.chance(hot_p)) {
+        // The hot cluster occupies the first pages of the footprint
+        // (contiguous virtually, as heaps are).
+        return hotZipf_.sample(rng_);
+    }
+    return rng_.below(config_.footprintPages);
+}
+
+MemRef
+Workload::next()
+{
+    if (trace_ != nullptr) {
+        MemRef ref;
+        if (!trace_->next(ref)) {
+            trace_->rewind();
+            if (!trace_->next(ref))
+                fatal("trace '%s' holds no records",
+                      config_.traceFile.c_str());
+        }
+        ++refs_;
+        return ref;
+    }
+
+    MemRef ref;
+    ref.type = rng_.chance(config_.writeFraction) ? AccessType::Write
+                                                  : AccessType::Read;
+    ref.flush = ref.type == AccessType::Write &&
+                rng_.chance(config_.flushWriteFraction);
+    // Writes continue a spatial run only while its locus is hot:
+    // stores cluster on the program's core structures, while loads
+    // also walk cold data. Without this, run-following writes leak
+    // into cold pages and, amplified by write-back coalescing of the
+    // hot stores, would dominate the memory-level write stream.
+    const bool may_follow =
+        ref.type == AccessType::Read ||
+        pageOf(lastVaddr_) < hotPages_;
+    if (rng_.chance(config_.streamFraction)) {
+        // Streaming component: a block-granular sequential sweep of
+        // the whole footprint (grids, buffers).
+        streamPos_ = (streamPos_ + kBlockSize) %
+                     (config_.footprintPages * kPageSize);
+        ref.vaddr = streamPos_;
+    } else if (refs_ > 0 && may_follow &&
+               rng_.chance(config_.spatialRun)) {
+        // Continue the current spatial run block by block.
+        lastVaddr_ = (lastVaddr_ + kBlockSize) %
+                     (config_.footprintPages * kPageSize);
+        ref.vaddr = lastVaddr_;
+    } else {
+        const PageId page = pickPage(ref.type == AccessType::Write);
+        const std::uint64_t block = rng_.below(kBlocksPerPage);
+        ref.vaddr = pageAddr(page) + block * kBlockSize;
+        lastVaddr_ = ref.vaddr;
+    }
+
+    ++refs_;
+    if (config_.churnEvery != 0 && refs_ % config_.churnEvery == 0) {
+        // Drop a random cold page; it refaults on its next touch.
+        ref.churnPage = true;
+        ref.churnVictim =
+            hotPages_ +
+            rng_.below(std::max<std::uint64_t>(
+                1, config_.footprintPages - hotPages_));
+    }
+    return ref;
+}
+
+} // namespace amnt::sim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Synthetic workload generation.
+ *
+ * The metadata-persistence protocols under study are sensitive only
+ * to the stream of (virtual address, read/write) references and its
+ * spatial structure, so each PARSEC/SPEC benchmark is modeled as a
+ * parameterized address-stream generator: footprint, memory
+ * intensity, write fraction, a hot cluster with Zipf popularity, a
+ * sequential streaming component, and optional page churn (frees that
+ * exercise OS reclamation). Presets calibrated to the per-benchmark
+ * behaviour the paper reports live in sim/presets.cc.
+ */
+
+#ifndef AMNT_SIM_WORKLOAD_HH
+#define AMNT_SIM_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace amnt::sim
+{
+
+/** Generator parameters for one benchmark. */
+struct WorkloadConfig
+{
+    std::string name = "synthetic";
+
+    /** Virtual footprint in 4 KB pages. */
+    std::uint64_t footprintPages = 16 * 1024;
+
+    /** Memory references issued per instruction. */
+    double memIntensity = 0.10;
+
+    /** Fraction of references that are writes. */
+    double writeFraction = 0.25;
+
+    /** Fraction of the footprint forming the hot cluster. */
+    double hotPagesFraction = 0.05;
+
+    /** Fraction of reads directed at the hot cluster. */
+    double readHotFraction = 0.7;
+
+    /** Fraction of writes directed at the hot cluster. */
+    double writeHotFraction = 0.8;
+
+    /** Zipf skew inside the hot cluster (0 = uniform). */
+    double zipfAlpha = 0.8;
+
+    /** Fraction of references that stream sequentially. */
+    double streamFraction = 0.1;
+
+    /**
+     * Probability of continuing a spatial run: the next reference is
+     * the next 64 B block after the previous one. Real programs walk
+     * structures, so consecutive blocks (which share HMAC blocks and
+     * counter blocks) cluster; pointer-chasing workloads set this
+     * low.
+     */
+    double spatialRun = 0.7;
+
+    /**
+     * Page churn: every this many references, one cold virtual page
+     * is freed (returned to the OS) and later refaulted; 0 disables.
+     * This is what exercises reclamation (and AMNT++ restructuring).
+     */
+    std::uint64_t churnEvery = 0;
+
+    /**
+     * Fraction of writes that are explicitly persisted (clwb-style),
+     * as the paper's in-memory storage applications do under an SCM
+     * persistence model. Flushed writes reach the secure-memory
+     * engine immediately instead of waiting for an LLC write-back.
+     */
+    double flushWriteFraction = 0.0;
+
+    /**
+     * When non-empty, replay this recorded trace (see sim/trace.hh)
+     * instead of synthesizing references; the trace wraps around at
+     * its end. Generator parameters other than memIntensity are
+     * ignored in trace mode.
+     */
+    std::string traceFile;
+
+    std::uint64_t seed = 42;
+};
+
+/** One generated reference. */
+struct MemRef
+{
+    Addr vaddr = 0;
+    AccessType type = AccessType::Read;
+    bool isInstruction = false; ///< reserved; data refs only for now
+
+    /** Write must persist immediately (persistence-model flush). */
+    bool flush = false;
+
+    /** Set when this reference wants vaddr's page dropped first. */
+    bool churnPage = false;
+    PageId churnVictim = 0;
+};
+
+class TraceReader;
+
+/** Deterministic address-stream generator (or trace replayer). */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadConfig &config);
+    ~Workload();
+
+    /** Next reference in the stream. */
+    MemRef next();
+
+    /** Should the current instruction issue a memory reference? */
+    bool
+    issuesMemRef(Rng &core_rng) const
+    {
+        return core_rng.chance(config_.memIntensity);
+    }
+
+    const WorkloadConfig &config() const { return config_; }
+
+  private:
+    Addr pickPage(bool is_write);
+
+    WorkloadConfig config_;
+    Rng rng_;
+    ZipfSampler hotZipf_;
+    std::uint64_t hotPages_;
+    std::uint64_t streamPos_ = 0;
+    Addr lastVaddr_ = 0;
+    std::uint64_t refs_ = 0;
+    std::unique_ptr<TraceReader> trace_;
+};
+
+} // namespace amnt::sim
+
+#endif // AMNT_SIM_WORKLOAD_HH

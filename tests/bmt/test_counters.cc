@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "bmt/counters.hh"
+
+namespace amnt::bmt
+{
+namespace
+{
+
+TEST(CounterBlock, StartsZero)
+{
+    const CounterBlock cb;
+    EXPECT_TRUE(cb.isZero());
+    EXPECT_EQ(cb.major, 0ull);
+}
+
+TEST(CounterBlock, IncrementIsolatedPerSlot)
+{
+    CounterBlock cb;
+    EXPECT_FALSE(cb.increment(3));
+    EXPECT_FALSE(cb.increment(3));
+    EXPECT_EQ(cb.minors[3], 2);
+    EXPECT_EQ(cb.minors[2], 0);
+    EXPECT_FALSE(cb.isZero());
+}
+
+TEST(CounterBlock, OverflowAtSevenBits)
+{
+    CounterBlock cb;
+    for (int i = 0; i < 127; ++i)
+        EXPECT_FALSE(cb.increment(0)) << "iteration " << i;
+    EXPECT_EQ(cb.minors[0], kMinorCounterMax);
+    EXPECT_TRUE(cb.increment(0)); // would exceed 7 bits
+    cb.overflowReset();
+    EXPECT_EQ(cb.major, 1ull);
+    for (auto m : cb.minors)
+        EXPECT_EQ(m, 0);
+}
+
+TEST(CounterBlock, SerializeIs64Bytes)
+{
+    CounterBlock cb;
+    cb.major = 0x1122334455667788ULL;
+    const auto raw = cb.serialize();
+    EXPECT_EQ(raw.size(), kBlockSize);
+    EXPECT_EQ(raw[0], 0x88); // little-endian major
+}
+
+TEST(CounterBlock, SerializeRoundTripDense)
+{
+    CounterBlock cb;
+    cb.major = 0xdeadbeefcafe1234ULL;
+    for (unsigned i = 0; i < kCounterArity; ++i)
+        cb.minors[i] = static_cast<std::uint8_t>((i * 37 + 5) & 0x7f);
+    EXPECT_EQ(CounterBlock::deserialize(cb.serialize()), cb);
+}
+
+TEST(CounterBlock, SerializeRoundTripExtremes)
+{
+    CounterBlock cb;
+    for (unsigned i = 0; i < kCounterArity; ++i)
+        cb.minors[i] = i % 2 ? kMinorCounterMax : 0;
+    EXPECT_EQ(CounterBlock::deserialize(cb.serialize()), cb);
+}
+
+TEST(CounterBlock, MinorsUseExactly56Bytes)
+{
+    // Setting only the last minor must not touch the major bytes and
+    // must land inside the trailing 56-byte area.
+    CounterBlock cb;
+    cb.minors[63] = kMinorCounterMax;
+    const auto raw = cb.serialize();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(raw[static_cast<std::size_t>(i)], 0);
+    EXPECT_NE(raw[63], 0);
+    EXPECT_EQ(CounterBlock::deserialize(raw), cb);
+}
+
+TEST(CounterBlock, ZeroBlockSerializesToZeros)
+{
+    const CounterBlock cb;
+    for (auto b : cb.serialize())
+        EXPECT_EQ(b, 0);
+}
+
+} // namespace
+} // namespace amnt::bmt

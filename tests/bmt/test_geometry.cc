@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "bmt/geometry.hh"
+
+namespace amnt::bmt
+{
+namespace
+{
+
+TEST(Geometry, PadsToPowerOfEight)
+{
+    EXPECT_EQ(Geometry(1).paddedCounters(), 8ull);
+    EXPECT_EQ(Geometry(8).paddedCounters(), 8ull);
+    EXPECT_EQ(Geometry(9).paddedCounters(), 64ull);
+    EXPECT_EQ(Geometry(513).paddedCounters(), 4096ull);
+}
+
+TEST(Geometry, LevelsRootIsOne)
+{
+    const Geometry g(512); // 8^3 counters -> 3 node levels
+    EXPECT_EQ(g.nodeLevels(), 3u);
+    EXPECT_EQ(g.totalLevels(), 4u);
+    EXPECT_EQ(g.nodesAt(1), 1ull);
+    EXPECT_EQ(g.nodesAt(2), 8ull);
+    EXPECT_EQ(g.nodesAt(3), 64ull);
+    EXPECT_EQ(g.totalNodes(), 73ull);
+}
+
+TEST(Geometry, EightGigabyteConfig)
+{
+    const Geometry g(1ull << 21); // 8 GB of pages
+    EXPECT_EQ(g.nodeLevels(), 7u);
+    EXPECT_EQ(g.totalLevels(), 8u); // the paper's "8-level BMT"
+    EXPECT_EQ(g.nodesAt(3), 64ull); // 64 subtree regions at level 3
+}
+
+TEST(Geometry, Coverage)
+{
+    const Geometry g(512);
+    EXPECT_EQ(g.countersPerNode(1), 512ull);
+    EXPECT_EQ(g.countersPerNode(2), 64ull);
+    EXPECT_EQ(g.countersPerNode(3), 8ull);
+}
+
+TEST(Geometry, AncestorAndParentConsistency)
+{
+    const Geometry g(512);
+    const std::uint64_t counter = 345;
+    NodeRef leaf = g.leafNodeOf(counter);
+    EXPECT_EQ(leaf.level, 3u);
+    EXPECT_EQ(leaf.index, counter / 8);
+    NodeRef ref = leaf;
+    for (unsigned level = 3; level >= 1; --level) {
+        EXPECT_EQ(g.ancestorOf(counter, level), ref);
+        EXPECT_TRUE(g.onPath(ref, counter));
+        if (level > 1)
+            ref = Geometry::parentOf(ref);
+    }
+    EXPECT_EQ(ref, (NodeRef{1, 0}));
+}
+
+TEST(Geometry, ChildSlotRoundTrip)
+{
+    const Geometry g(512);
+    const NodeRef parent{2, 5};
+    for (unsigned slot = 0; slot < kTreeArity; ++slot) {
+        const NodeRef child = g.childOf(parent, slot);
+        EXPECT_EQ(Geometry::parentOf(child), parent);
+        EXPECT_EQ(Geometry::slotOf(child), slot);
+    }
+}
+
+TEST(Geometry, LinearIdRoundTrip)
+{
+    const Geometry g(4096);
+    std::uint64_t expected = 0;
+    for (unsigned level = 1; level <= g.nodeLevels(); ++level) {
+        for (std::uint64_t i : {std::uint64_t(0),
+                                g.nodesAt(level) / 2,
+                                g.nodesAt(level) - 1}) {
+            const NodeRef ref{level, i};
+            const std::uint64_t id = g.linearId(ref);
+            EXPECT_EQ(g.nodeOfLinearId(id), ref);
+        }
+        expected += g.nodesAt(level);
+    }
+    EXPECT_EQ(g.totalNodes(), expected);
+    EXPECT_EQ(g.linearId({1, 0}), 0ull);
+    EXPECT_EQ(g.linearId({2, 0}), 1ull);
+    EXPECT_EQ(g.linearId({3, 0}), 9ull);
+}
+
+TEST(Geometry, SubtreeMembership)
+{
+    const Geometry g(4096); // 4 node levels
+    const NodeRef root{2, 3};
+    EXPECT_TRUE(Geometry::inSubtree(root, root));
+    EXPECT_TRUE(Geometry::inSubtree({3, 3 * 8 + 1}, root));
+    EXPECT_TRUE(Geometry::inSubtree({4, 3 * 64 + 63}, root));
+    EXPECT_FALSE(Geometry::inSubtree({3, 2 * 8 + 7}, root));
+    EXPECT_FALSE(Geometry::inSubtree({1, 0}, root));
+    EXPECT_FALSE(Geometry::inSubtree({2, 4}, root));
+}
+
+TEST(Geometry, RegionsPartitionCounters)
+{
+    const Geometry g(4096);
+    const unsigned level = 3; // 64 regions of 64 counters each
+    std::uint64_t last = 0;
+    for (std::uint64_t c = 0; c < 4096; ++c) {
+        const std::uint64_t r = g.regionOf(c, level);
+        EXPECT_EQ(r, c / 64);
+        EXPECT_GE(r, last);
+        last = r;
+    }
+}
+
+} // namespace
+} // namespace amnt::bmt

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace amnt::cache
+{
+namespace
+{
+
+struct Harness
+{
+    Cache l1{{"l1", 512, 2, 1}};
+    Cache l2{{"l2", 2048, 4, 10}};
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    CacheHierarchy h{
+        {&l1, &l2},
+        [this](Addr) {
+            ++memReads;
+            return Cycle(100);
+        },
+        [this](Addr) {
+            ++memWrites;
+            return Cycle(100);
+        }};
+};
+
+TEST(Hierarchy, MissGoesToMemoryThenHitsL1)
+{
+    Harness x;
+    const Cycle miss = x.h.access(0, AccessType::Read);
+    EXPECT_EQ(x.memReads, 1ull);
+    EXPECT_GE(miss, 100ull);
+    const Cycle hit = x.h.access(0, AccessType::Read);
+    EXPECT_EQ(x.memReads, 1ull);
+    EXPECT_EQ(hit, 1ull); // L1 hit latency
+}
+
+TEST(Hierarchy, InclusiveFill)
+{
+    Harness x;
+    x.h.access(0, AccessType::Read);
+    EXPECT_TRUE(x.l1.contains(0));
+    EXPECT_TRUE(x.l2.contains(0));
+}
+
+TEST(Hierarchy, WriteMarksL1Dirty)
+{
+    Harness x;
+    x.h.access(0, AccessType::Write);
+    EXPECT_TRUE(x.l1.isDirty(0));
+}
+
+TEST(Hierarchy, DirtyBlockReachesMemoryOnlyAfterFullEviction)
+{
+    Harness x;
+    x.h.access(0, AccessType::Write);
+    // Thrash both levels so block 0 is pushed all the way out.
+    // L1: 4 sets, L2: 8 sets; walk many conflicting blocks.
+    for (int i = 1; i < 64; ++i)
+        x.h.access(static_cast<Addr>(i) * 64 * 8, AccessType::Read);
+    EXPECT_EQ(x.memWrites, 1ull);
+}
+
+TEST(Hierarchy, CleanEvictionsProduceNoMemoryWrites)
+{
+    Harness x;
+    for (int i = 0; i < 64; ++i)
+        x.h.access(static_cast<Addr>(i) * 64 * 8, AccessType::Read);
+    EXPECT_EQ(x.memWrites, 0ull);
+}
+
+TEST(Hierarchy, L2HitRefillsL1)
+{
+    Harness x;
+    x.h.access(0, AccessType::Read);
+    // Evict from L1 only (L1 has 4 sets x 2 ways; same-set blocks).
+    x.h.access(4 * 64, AccessType::Read);
+    x.h.access(8 * 64, AccessType::Read);
+    EXPECT_FALSE(x.l1.contains(0));
+    const std::uint64_t reads_before = x.memReads;
+    x.h.access(0, AccessType::Read); // should hit in L2
+    EXPECT_EQ(x.memReads, reads_before);
+    EXPECT_TRUE(x.l1.contains(0));
+}
+
+TEST(Hierarchy, InvalidateAllDropsDirtyData)
+{
+    Harness x;
+    x.h.access(0, AccessType::Write);
+    x.h.invalidateAll();
+    EXPECT_FALSE(x.l1.contains(0));
+    EXPECT_EQ(x.memWrites, 0ull); // power loss: nothing written back
+}
+
+TEST(Hierarchy, CountsMemoryTraffic)
+{
+    Harness x;
+    x.h.access(0, AccessType::Read);
+    x.h.access(64 * 1024, AccessType::Read);
+    EXPECT_EQ(x.h.memReads(), 2ull);
+}
+
+TEST(Hierarchy, SharedLlcBetweenTwoPaths)
+{
+    Cache l1a{{"l1a", 512, 2, 1}};
+    Cache l1b{{"l1b", 512, 2, 1}};
+    Cache llc{{"llc", 4096, 4, 10}};
+    std::uint64_t reads = 0;
+    auto rd = [&reads](Addr) {
+        ++reads;
+        return Cycle(100);
+    };
+    auto wr = [](Addr) { return Cycle(100); };
+    CacheHierarchy a({&l1a, &llc}, rd, wr);
+    CacheHierarchy b({&l1b, &llc}, rd, wr);
+
+    a.access(0, AccessType::Read);
+    EXPECT_EQ(reads, 1ull);
+    b.access(0, AccessType::Read); // hits shared LLC
+    EXPECT_EQ(reads, 1ull);
+    EXPECT_TRUE(l1b.contains(0));
+}
+
+} // namespace
+} // namespace amnt::cache

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace amnt
+{
+namespace
+{
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Bitops, Logs)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(Bitops, IpowAndCeilDiv)
+{
+    EXPECT_EQ(ipow(8, 0), 1ull);
+    EXPECT_EQ(ipow(8, 7), 2097152ull);
+    EXPECT_EQ(ceilDiv(10, 3), 4ull);
+    EXPECT_EQ(ceilDiv(9, 3), 3ull);
+}
+
+TEST(Bitops, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 64), 0ull);
+    EXPECT_EQ(alignUp(1, 64), 64ull);
+    EXPECT_EQ(alignUp(64, 64), 64ull);
+    EXPECT_EQ(alignUp(65, 4096), 4096ull);
+}
+
+TEST(Bitops, EndianRoundTrips)
+{
+    std::uint8_t buf[8];
+    store64le(buf, 0x0123456789abcdefULL);
+    EXPECT_EQ(buf[0], 0xef);
+    EXPECT_EQ(buf[7], 0x01);
+    EXPECT_EQ(load64le(buf), 0x0123456789abcdefULL);
+
+    store64be(buf, 0x0123456789abcdefULL);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[7], 0xef);
+
+    store32be(buf, 0xdeadbeef);
+    EXPECT_EQ(load32be(buf), 0xdeadbeefu);
+}
+
+TEST(Bitops, Rotations)
+{
+    EXPECT_EQ(rotl64(1, 1), 2ull);
+    EXPECT_EQ(rotl64(0x8000000000000000ULL, 1), 1ull);
+    EXPECT_EQ(rotr32(1, 1), 0x80000000u);
+}
+
+TEST(Types, AddressHelpers)
+{
+    EXPECT_EQ(blockOf(0), 0ull);
+    EXPECT_EQ(blockOf(63), 0ull);
+    EXPECT_EQ(blockOf(64), 1ull);
+    EXPECT_EQ(pageOf(4095), 0ull);
+    EXPECT_EQ(pageOf(4096), 1ull);
+    EXPECT_EQ(blockAddr(5), 320ull);
+    EXPECT_EQ(pageAddr(3), 12288ull);
+    EXPECT_EQ(kBlocksPerPage, 64ull);
+}
+
+} // namespace
+} // namespace amnt

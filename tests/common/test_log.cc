@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "mem/nvm_device.hh"
+
+namespace amnt
+{
+namespace
+{
+
+TEST(Log, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+    EXPECT_EQ(strfmt("%% literal"), "% literal");
+    EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Log, StrfmtLongStrings)
+{
+    const std::string big(5000, 'a');
+    EXPECT_EQ(strfmt("%s!", big.c_str()).size(), 5001u);
+}
+
+using LogDeath = ::testing::Test;
+
+TEST(LogDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "panic: boom 7");
+}
+
+TEST(LogDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LogDeath, CacheRejectsNonPowerOfTwoSets)
+{
+    // 3 sets of 2 ways x 64 B = 384 B: not a power-of-two set count.
+    cache::CacheConfig cfg{"bad", 384, 2, 1};
+    EXPECT_DEATH({ cache::Cache c(cfg); }, "not a power of two");
+}
+
+TEST(LogDeath, CacheRejectsZeroSize)
+{
+    cache::CacheConfig cfg{"bad", 0, 2, 1};
+    EXPECT_DEATH({ cache::Cache c(cfg); }, "zero size");
+}
+
+TEST(LogDeath, NvmRejectsOutOfRangeAccess)
+{
+    mem::NvmDevice nvm(1024);
+    mem::Block b{};
+    EXPECT_DEATH(nvm.readBlock(4096, b), "beyond capacity");
+}
+
+TEST(LogDeath, HistogramRejectsBadBounds)
+{
+    EXPECT_DEATH({ Histogram h(1.0, 1.0, 4); }, "hi > lo");
+}
+
+TEST(LogDeath, ZipfRejectsEmptyDomain)
+{
+    Rng rng(1);
+    EXPECT_DEATH({ ZipfSampler z(0, 1.0); }, "n >= 1");
+}
+
+} // namespace
+} // namespace amnt

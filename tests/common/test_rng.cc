@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace amnt
+{
+namespace
+{
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.below(17);
+        EXPECT_LT(v, 17ull);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.below(8)];
+    for (int count : seen)
+        EXPECT_GT(count, 800); // roughly uniform
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Zipf, UniformWhenAlphaZero)
+{
+    Rng rng(3);
+    ZipfSampler z(10, 0.0);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++seen[z.sample(rng)];
+    for (int count : seen) {
+        EXPECT_GT(count, 1500);
+        EXPECT_LT(count, 2500);
+    }
+}
+
+TEST(Zipf, SkewPrefersLowRanks)
+{
+    Rng rng(5);
+    ZipfSampler z(1000, 1.0);
+    std::uint64_t top = 0, tail = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t r = z.sample(rng);
+        if (r < 10)
+            ++top;
+        if (r >= 900)
+            ++tail;
+    }
+    EXPECT_GT(top, tail * 5);
+}
+
+TEST(Zipf, SingleRank)
+{
+    Rng rng(1);
+    ZipfSampler z(1, 1.2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 0ull);
+}
+
+} // namespace
+} // namespace amnt

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace amnt
+{
+namespace
+{
+
+TEST(StatGroup, IncrementAndGet)
+{
+    StatGroup s;
+    EXPECT_EQ(s.get("missing"), 0ull);
+    s.inc("hits");
+    s.inc("hits", 4);
+    EXPECT_EQ(s.get("hits"), 5ull);
+    s.set("hits", 2);
+    EXPECT_EQ(s.get("hits"), 2ull);
+}
+
+TEST(StatGroup, Ratio)
+{
+    StatGroup s;
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "misses"), 0.0);
+    s.inc("hits", 3);
+    s.inc("misses", 1);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "misses"), 0.75);
+}
+
+TEST(StatGroup, ResetKeepsNames)
+{
+    StatGroup s;
+    s.inc("a", 10);
+    s.reset();
+    EXPECT_EQ(s.get("a"), 0ull);
+    EXPECT_EQ(s.all().count("a"), 1ull);
+}
+
+TEST(StatGroup, DumpSortedAndPrefixed)
+{
+    StatGroup s;
+    s.inc("b", 2);
+    s.inc("a", 1);
+    EXPECT_EQ(s.dump("x."), "x.a 1\nx.b 2\n");
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-3.0);  // clamps into bin 0
+    h.add(100.0); // clamps into last bin
+    EXPECT_EQ(h.count(), 4ull);
+    EXPECT_EQ(h.bins()[0], 2ull);
+    EXPECT_EQ(h.bins()[9], 2ull);
+}
+
+TEST(Histogram, MeanAndWeights)
+{
+    Histogram h(0.0, 100.0, 4);
+    h.add(10.0, 3);
+    h.add(50.0, 1);
+    EXPECT_EQ(h.count(), 4ull);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_DOUBLE_EQ(h.binLo(1), 25.0);
+}
+
+} // namespace
+} // namespace amnt

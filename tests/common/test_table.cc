@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace amnt
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, BigFormatting)
+{
+    EXPECT_EQ(TextTable::big(0), "0");
+    EXPECT_EQ(TextTable::big(999), "999");
+    EXPECT_EQ(TextTable::big(1000), "1,000");
+    EXPECT_EQ(TextTable::big(1234567), "1,234,567");
+}
+
+TEST(TextTable, PctFormatting)
+{
+    EXPECT_EQ(TextTable::pct(0.125, 1), "12.5%");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, RowsWithoutHeader)
+{
+    TextTable t;
+    t.row({"x", "y"});
+    EXPECT_EQ(t.render(), "x  y\n");
+}
+
+} // namespace
+} // namespace amnt

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/amnt.hh"
+#include "mee/mee_test_util.hh"
+
+namespace amnt
+{
+namespace
+{
+
+using test::Rig;
+
+mee::MeeConfig
+amntConfig()
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.dataBytes = 2ull << 20; // 512 counters, 3 node levels
+    cfg.amntSubtreeLevel = 2;   // 8 regions x 64 counters
+    cfg.amntInterval = 64;
+    return cfg;
+}
+
+core::AmntEngine &
+amnt(Rig &rig)
+{
+    return static_cast<core::AmntEngine &>(*rig.engine);
+}
+
+TEST(Amnt, StaleSetConfinedToFastSubtree)
+{
+    Rig rig(mee::Protocol::Amnt, amntConfig());
+    Rng rng(11);
+    // Mixed traffic: mostly region 0, some scattered elsewhere.
+    for (int i = 0; i < 600; ++i) {
+        const std::uint64_t page = rng.chance(0.8)
+                                       ? rng.below(64)
+                                       : rng.below(512);
+        test::writePattern(*rig.engine, page * 4096 + rng.below(4) * 64,
+                           i);
+    }
+    const auto root = amnt(rig).subtreeRoot();
+    for (Addr a : rig.engine->staleMetadataBlocks()) {
+        ASSERT_EQ(rig.engine->map().classify(a), mem::Region::Tree)
+            << "counters/HMACs must never be stale under AMNT";
+        const bmt::NodeRef ref = rig.engine->map().nodeOfAddr(a);
+        // Stale nodes are confined to the fast subtree plus the
+        // subtree root's ancestor path, which is re-anchored by the
+        // NV registers and persisted on every movement (section 4.2).
+        EXPECT_TRUE(bmt::Geometry::inSubtree(ref, root) ||
+                    bmt::Geometry::inSubtree(root, ref))
+            << "level " << ref.level << " index " << ref.index;
+    }
+}
+
+TEST(Amnt, CrashRecoverySucceedsAndVerifies)
+{
+    Rig rig(mee::Protocol::Amnt, amntConfig());
+    Rng rng(13);
+    std::unordered_map<Addr, std::uint64_t> last;
+    for (int i = 0; i < 500; ++i) {
+        const Addr a = (rng.chance(0.7) ? rng.below(64)
+                                        : rng.below(512)) *
+                           4096 +
+                       rng.below(8) * 64;
+        test::writePattern(*rig.engine, a, i);
+        last[a] = static_cast<std::uint64_t>(i);
+    }
+    rig.engine->crash();
+    const auto report = rig.engine->recover();
+    ASSERT_TRUE(report.success);
+    for (const auto &kv : last)
+        EXPECT_TRUE(
+            test::checkPattern(*rig.engine, kv.first, kv.second));
+    EXPECT_EQ(rig.engine->violations(), 0ull);
+}
+
+TEST(Amnt, RecoveryWorkBoundedBySubtree)
+{
+    Rig amnt_rig(mee::Protocol::Amnt, amntConfig());
+    mee::MeeConfig leaf_cfg = amntConfig();
+    Rig leaf_rig(mee::Protocol::Leaf, leaf_cfg);
+
+    // Touch every region so the whole tree is populated.
+    for (std::uint64_t p = 0; p < 512; p += 2) {
+        test::writePattern(*amnt_rig.engine, p * 4096, p);
+        test::writePattern(*leaf_rig.engine, p * 4096, p);
+    }
+    amnt_rig.engine->crash();
+    leaf_rig.engine->crash();
+    const auto ra = amnt_rig.engine->recover();
+    const auto rl = leaf_rig.engine->recover();
+    ASSERT_TRUE(ra.success);
+    ASSERT_TRUE(rl.success);
+    EXPECT_LT(ra.blocksRead, rl.blocksRead / 4)
+        << "AMNT must recompute only the fast subtree";
+    EXPECT_LT(ra.estimatedMs, rl.estimatedMs);
+}
+
+TEST(Amnt, SurvivesRepeatedCrashesAndMovements)
+{
+    Rig rig(mee::Protocol::Amnt, amntConfig());
+    Rng rng(17);
+    std::uint64_t hot = 0;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 200; ++i) {
+            const Addr a =
+                (hot * 64 + rng.below(32)) * 4096 + rng.below(4) * 64;
+            test::writePattern(*rig.engine, a,
+                               std::uint64_t(round) * 1000 + i);
+        }
+        rig.engine->crash();
+        ASSERT_TRUE(rig.engine->recover().success)
+            << "round " << round;
+        hot = (hot + 3) % 8; // shift the hot region each round
+    }
+    EXPECT_GT(amnt(rig).movements(), 0ull);
+}
+
+TEST(Amnt, InsideWritesCheaperThanOutsideWrites)
+{
+    Rig rig(mee::Protocol::Amnt, amntConfig());
+    std::uint8_t buf[kBlockSize] = {1};
+    // Warm up: establish region 0 as the subtree.
+    for (int i = 0; i < 128; ++i)
+        rig.engine->write((i % 32) * 4096, buf);
+    ASSERT_EQ(amnt(rig).currentRegion(), 0ull);
+
+    Cycle inside = 0, outside = 0;
+    for (int i = 0; i < 16; ++i)
+        inside += rig.engine->write((i % 32) * 4096, buf);
+    for (int i = 0; i < 16; ++i)
+        outside += rig.engine->write((448 + i % 32) * 4096, buf);
+    EXPECT_LT(inside * 2, outside);
+}
+
+TEST(Amnt, SubtreeRegisterDetectsTamperedSubtreeCounters)
+{
+    setQuiet(true);
+    Rig rig(mee::Protocol::Amnt, amntConfig());
+    for (int i = 0; i < 32; ++i)
+        test::writePattern(*rig.engine, (i % 8) * 4096, i);
+    rig.engine->crash();
+    // Physical attack while powered off: corrupt a counter inside
+    // the fast subtree.
+    rig.nvm->tamper(rig.engine->map().counterBase() + 3 * kBlockSize,
+                    5, 0x40);
+    const auto report = rig.engine->recover();
+    EXPECT_FALSE(report.success);
+    setQuiet(false);
+}
+
+TEST(Amnt, MovementRateIsLow)
+{
+    // Zipf-like concentrated traffic should move the subtree rarely
+    // (paper: ~3 movements per 1000 writes in the worst case).
+    Rig rig(mee::Protocol::Amnt, amntConfig());
+    Rng rng(23);
+    const int writes = 5000;
+    for (int i = 0; i < writes; ++i) {
+        const std::uint64_t page = rng.chance(0.9)
+                                       ? rng.below(48)
+                                       : rng.below(512);
+        test::writePattern(*rig.engine, page * 4096, i);
+    }
+    EXPECT_LT(amnt(rig).movements(),
+              static_cast<std::uint64_t>(writes) * 5 / 1000);
+}
+
+} // namespace
+} // namespace amnt

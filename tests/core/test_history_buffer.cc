@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/history_buffer.hh"
+
+namespace amnt::core
+{
+namespace
+{
+
+TEST(HistoryBuffer, HeadStartsAtIncumbent)
+{
+    HistoryBuffer hb(64, 7);
+    EXPECT_EQ(hb.head(), 7ull);
+}
+
+TEST(HistoryBuffer, HeadTracksMostFrequent)
+{
+    HistoryBuffer hb(64, 0);
+    for (int i = 0; i < 5; ++i)
+        hb.record(3);
+    for (int i = 0; i < 9; ++i)
+        hb.record(11);
+    EXPECT_EQ(hb.head(), 11ull);
+    EXPECT_EQ(hb.countOf(3), 5ull);
+    EXPECT_EQ(hb.countOf(11), 9ull);
+}
+
+TEST(HistoryBuffer, TieKeepsIncumbent)
+{
+    HistoryBuffer hb(64, 5);
+    hb.record(5);
+    hb.record(9); // 9 ties with 5 at count 1: incumbent stays
+    EXPECT_EQ(hb.head(), 5ull);
+    hb.record(9); // 9 now strictly greater
+    EXPECT_EQ(hb.head(), 9ull);
+}
+
+TEST(HistoryBuffer, ResetZerosCountsAndSeedsHead)
+{
+    HistoryBuffer hb(64, 0);
+    for (int i = 0; i < 10; ++i)
+        hb.record(2);
+    hb.reset(4);
+    EXPECT_EQ(hb.head(), 4ull);
+    EXPECT_EQ(hb.countOf(2), 0ull);
+}
+
+TEST(HistoryBuffer, CountersSaturate)
+{
+    HistoryBuffer hb(8, 0);
+    for (int i = 0; i < 100; ++i)
+        hb.record(1);
+    EXPECT_LE(hb.countOf(1), 8ull);
+}
+
+TEST(HistoryBuffer, MoreRegionsThanEntriesReplacesColdest)
+{
+    HistoryBuffer hb(4, 0);
+    // Touch many distinct regions; the buffer can only track 4.
+    for (std::uint64_t r = 10; r < 30; ++r)
+        hb.record(r);
+    // A repeatedly-hot region must still surface at the head.
+    for (int i = 0; i < 6; ++i)
+        hb.record(42);
+    EXPECT_EQ(hb.head(), 42ull);
+}
+
+TEST(HistoryBuffer, StorageMatchesPaper)
+{
+    // 64 entries of 2 x 6 bits = 768 bits = 96 bytes (Table 3).
+    HistoryBuffer hb(64, 0);
+    EXPECT_EQ(hb.storageBits(), 768ull);
+}
+
+TEST(HistoryBuffer, SingleEntryBuffer)
+{
+    HistoryBuffer hb(1, 3);
+    hb.record(3);
+    EXPECT_EQ(hb.head(), 3ull);
+}
+
+} // namespace
+} // namespace amnt::core

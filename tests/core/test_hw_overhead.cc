@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/hw_overhead.hh"
+
+namespace amnt::core
+{
+namespace
+{
+
+TEST(HwOverhead, AmntMatchesPaperTable3)
+{
+    const mee::MeeConfig cfg;
+    const HwOverhead hw = hwOverheadOf(mee::Protocol::Amnt, cfg);
+    EXPECT_EQ(hw.nvOnChip, 64ull);
+    EXPECT_EQ(hw.volatileOnChip, 96ull);
+    EXPECT_EQ(hw.inMemory, 0ull);
+}
+
+TEST(HwOverhead, AnubisMatchesPaperTable3)
+{
+    const mee::MeeConfig cfg;
+    const HwOverhead hw = hwOverheadOf(mee::Protocol::Anubis, cfg);
+    EXPECT_EQ(hw.nvOnChip, 64ull);
+    EXPECT_EQ(hw.volatileOnChip, 37ull * 1024);
+    EXPECT_EQ(hw.inMemory, 37ull * 1024);
+}
+
+TEST(HwOverhead, BmfMatchesPaperTable3)
+{
+    const mee::MeeConfig cfg;
+    const HwOverhead hw = hwOverheadOf(mee::Protocol::Bmf, cfg);
+    EXPECT_EQ(hw.nvOnChip, 4ull * 1024);
+    EXPECT_EQ(hw.volatileOnChip, 768ull);
+    EXPECT_EQ(hw.inMemory, 0ull);
+}
+
+TEST(HwOverhead, BaselinesNeedNothingExtra)
+{
+    const mee::MeeConfig cfg;
+    for (auto p : {mee::Protocol::Volatile, mee::Protocol::Strict,
+                   mee::Protocol::Leaf, mee::Protocol::Osiris}) {
+        const HwOverhead hw = hwOverheadOf(p, cfg);
+        EXPECT_EQ(hw.nvOnChip, 0ull);
+        EXPECT_EQ(hw.volatileOnChip, 0ull);
+        EXPECT_EQ(hw.inMemory, 0ull);
+    }
+}
+
+TEST(HwOverhead, AmntIsIndependentOfCacheSize)
+{
+    mee::MeeConfig small;
+    small.metaCache.sizeBytes = 16 * 1024;
+    mee::MeeConfig big;
+    big.metaCache.sizeBytes = 1024 * 1024;
+    EXPECT_EQ(hwOverheadOf(mee::Protocol::Amnt, small).volatileOnChip,
+              hwOverheadOf(mee::Protocol::Amnt, big).volatileOnChip);
+    // ...while Anubis and BMF scale with it.
+    EXPECT_LT(
+        hwOverheadOf(mee::Protocol::Anubis, small).volatileOnChip,
+        hwOverheadOf(mee::Protocol::Anubis, big).volatileOnChip);
+    EXPECT_LT(hwOverheadOf(mee::Protocol::Bmf, small).volatileOnChip,
+              hwOverheadOf(mee::Protocol::Bmf, big).volatileOnChip);
+}
+
+} // namespace
+} // namespace amnt::core

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "core/recovery_planner.hh"
+
+namespace amnt::core
+{
+namespace
+{
+
+constexpr std::uint64_t kTb = 1ull << 40;
+
+TEST(RecoveryModel, LeafScalesLinearlyWithMemory)
+{
+    RecoveryModel m;
+    const double at2 = m.leafMs(2 * kTb);
+    EXPECT_NEAR(m.leafMs(16 * kTb) / at2, 8.0, 1e-9);
+    EXPECT_NEAR(m.leafMs(128 * kTb) / at2, 64.0, 1e-9);
+}
+
+TEST(RecoveryModel, LeafMatchesPaperTable4)
+{
+    // Paper Table 4: leaf at 2 TB = 6222.21 ms. Our byte-count model
+    // (C * 15/7 reads at 12 GB/s) lands within 2%.
+    RecoveryModel m;
+    EXPECT_NEAR(m.leafMs(2 * kTb), 6222.21, 6222.21 * 0.02);
+}
+
+TEST(RecoveryModel, AmntIsLeafScaledByLevel)
+{
+    RecoveryModel m;
+    const double leaf = m.leafMs(2 * kTb);
+    EXPECT_NEAR(m.amntMs(2 * kTb, 2), leaf / 8, 1e-9);
+    EXPECT_NEAR(m.amntMs(2 * kTb, 3), leaf / 64, 1e-9);
+    EXPECT_NEAR(m.amntMs(2 * kTb, 4), leaf / 512, 1e-9);
+}
+
+TEST(RecoveryModel, AmntMatchesPaperTable4)
+{
+    RecoveryModel m;
+    EXPECT_NEAR(m.amntMs(2 * kTb, 3), 97.22, 97.22 * 0.03);
+    EXPECT_NEAR(m.amntMs(16 * kTb, 4), 97.22, 97.22 * 0.03);
+}
+
+TEST(RecoveryModel, StrictAndBmfAreZero)
+{
+    RecoveryModel m;
+    EXPECT_DOUBLE_EQ(m.strictMs(128 * kTb), 0.0);
+    EXPECT_DOUBLE_EQ(m.bmfMs(128 * kTb), 0.0);
+}
+
+TEST(RecoveryModel, AnubisFixedRegardlessOfMemory)
+{
+    RecoveryModel m;
+    EXPECT_NEAR(m.anubisMs(), 1.3, 0.1); // paper: 1.30 ms
+}
+
+TEST(RecoveryModel, OsirisIsWorstNonTrivial)
+{
+    RecoveryModel m;
+    EXPECT_GT(m.osirisMs(2 * kTb), m.leafMs(2 * kTb) * 8);
+    EXPECT_LT(m.osirisMs(2 * kTb), m.leafMs(2 * kTb) * 9);
+}
+
+TEST(RecoveryModel, StaleFractions)
+{
+    EXPECT_DOUBLE_EQ(RecoveryModel::amntStaleFraction(2), 0.125);
+    EXPECT_DOUBLE_EQ(RecoveryModel::amntStaleFraction(3), 0.015625);
+    EXPECT_NEAR(RecoveryModel::amntStaleFraction(4), 0.00195, 1e-4);
+}
+
+TEST(RecoveryPlanner, PicksDeepestCoverageMeetingBudget)
+{
+    RecoveryModel m;
+    // 2 TB, 100 ms budget: level 2 (~778 ms) misses, level 3
+    // (~97 ms) fits.
+    EXPECT_EQ(m.levelForBudget(2 * kTb, 100.0, 7), 3u);
+    // A 1 s budget already fits level 2.
+    EXPECT_EQ(m.levelForBudget(2 * kTb, 1000.0, 7), 2u);
+    // An impossible budget returns 0.
+    EXPECT_EQ(m.levelForBudget(128 * kTb, 1e-6, 7), 0u);
+}
+
+TEST(RecoveryPlanner, BudgetMonotoneInLevel)
+{
+    RecoveryModel m;
+    for (unsigned level = 2; level < 7; ++level)
+        EXPECT_GT(m.amntMs(2 * kTb, level),
+                  m.amntMs(2 * kTb, level + 1));
+}
+
+} // namespace
+} // namespace amnt::core

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.hh"
+
+namespace amnt::crypto
+{
+namespace
+{
+
+AesBlock
+fromHex(const char *hex)
+{
+    AesBlock b{};
+    for (int i = 0; i < 16; ++i) {
+        unsigned v = 0;
+        std::sscanf(hex + 2 * i, "%02x", &v);
+        b[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v);
+    }
+    return b;
+}
+
+// FIPS-197 Appendix C.1.
+TEST(Aes128, Fips197Vector)
+{
+    Aes128 aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    const AesBlock out =
+        aes.encrypt(fromHex("00112233445566778899aabbccddeeff"));
+    EXPECT_EQ(out, fromHex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+}
+
+// NIST SP 800-38A F.1.1 (ECB-AES128, block 1).
+TEST(Aes128, Sp800_38aBlock1)
+{
+    Aes128 aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const AesBlock out =
+        aes.encrypt(fromHex("6bc1bee22e409f96e93d7e117393172a"));
+    EXPECT_EQ(out, fromHex("3ad77bb40d7a3660a89ecaf32466ef97"));
+}
+
+// NIST SP 800-38A F.1.1 (ECB-AES128, block 2).
+TEST(Aes128, Sp800_38aBlock2)
+{
+    Aes128 aes(fromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const AesBlock out =
+        aes.encrypt(fromHex("ae2d8a571e03ac9c9eb76fac45af8e51"));
+    EXPECT_EQ(out, fromHex("f5d3d58503b9699de785895a96fdbaaf"));
+}
+
+TEST(Aes128, Deterministic)
+{
+    Aes128 aes(fromHex("00000000000000000000000000000000"));
+    const AesBlock in{};
+    EXPECT_EQ(aes.encrypt(in), aes.encrypt(in));
+}
+
+TEST(Aes128, KeySensitivity)
+{
+    Aes128 a(fromHex("00000000000000000000000000000000"));
+    Aes128 b(fromHex("00000000000000000000000000000001"));
+    const AesBlock in{};
+    EXPECT_NE(a.encrypt(in), b.encrypt(in));
+}
+
+} // namespace
+} // namespace amnt::crypto

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac_sha256.hh"
+
+namespace amnt::crypto
+{
+namespace
+{
+
+std::string
+hex(const Sha256Digest &d)
+{
+    std::string out;
+    for (auto b : d) {
+        char buf[3];
+        std::snprintf(buf, sizeof(buf), "%02x", b);
+        out += buf;
+    }
+    return out;
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1)
+{
+    const std::vector<std::uint8_t> key(20, 0x0b);
+    HmacSha256 h(key.data(), key.size());
+    EXPECT_EQ(hex(h.mac("Hi There", 8)),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacSha256, Rfc4231Case2)
+{
+    HmacSha256 h("Jefe", 4);
+    const char *msg = "what do ya want for nothing?";
+    EXPECT_EQ(hex(h.mac(msg, std::strlen(msg))),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20-byte 0xaa key, 50-byte 0xdd data.
+TEST(HmacSha256, Rfc4231Case3)
+{
+    const std::vector<std::uint8_t> key(20, 0xaa);
+    const std::vector<std::uint8_t> data(50, 0xdd);
+    HmacSha256 h(key.data(), key.size());
+    EXPECT_EQ(hex(h.mac(data.data(), data.size())),
+              "773ea91e36800e46854db8ebd09181a7"
+              "2959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size gets hashed.
+TEST(HmacSha256, Rfc4231Case6LongKey)
+{
+    const std::vector<std::uint8_t> key(131, 0xaa);
+    HmacSha256 h(key.data(), key.size());
+    const char *msg = "Test Using Larger Than Block-Size Key - "
+                      "Hash Key First";
+    EXPECT_EQ(hex(h.mac(msg, std::strlen(msg))),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, Mac64IsLeadingBytes)
+{
+    HmacSha256 h("key", 3);
+    const Sha256Digest full = h.mac("msg", 3);
+    std::uint64_t lead = 0;
+    for (int i = 0; i < 8; ++i)
+        lead = (lead << 8) | full[static_cast<std::size_t>(i)];
+    EXPECT_EQ(h.mac64("msg", 3), lead);
+}
+
+TEST(HmacSha256, KeySeparation)
+{
+    HmacSha256 a("key-a", 5), b("key-b", 5);
+    EXPECT_NE(a.mac64("same message", 12), b.mac64("same message", 12));
+}
+
+} // namespace
+} // namespace amnt::crypto

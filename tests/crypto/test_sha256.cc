@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "crypto/sha256.hh"
+
+namespace amnt::crypto
+{
+namespace
+{
+
+std::string
+hex(const Sha256Digest &d)
+{
+    std::string out;
+    for (auto b : d) {
+        char buf[3];
+        std::snprintf(buf, sizeof(buf), "%02x", b);
+        out += buf;
+    }
+    return out;
+}
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(hex(Sha256::digest("", 0)),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(hex(Sha256::digest("abc", 3)),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    const char *msg =
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+    EXPECT_EQ(hex(Sha256::digest(msg, std::strlen(msg))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    const std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk.data(), chunk.size());
+    EXPECT_EQ(hex(h.final()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    const std::string msg = "the quick brown fox jumps over the lazy dog";
+    Sha256 h;
+    for (char c : msg)
+        h.update(&c, 1);
+    EXPECT_EQ(hex(h.final()),
+              hex(Sha256::digest(msg.data(), msg.size())));
+}
+
+TEST(Sha256, PaddingBoundaries)
+{
+    // Lengths straddling the 55/56/64-byte padding edges must all
+    // hash distinctly and deterministically.
+    std::string prev;
+    for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+        const std::string msg(len, 'x');
+        const std::string d = hex(Sha256::digest(msg.data(), len));
+        EXPECT_NE(d, prev);
+        EXPECT_EQ(d, hex(Sha256::digest(msg.data(), len)));
+        prev = d;
+    }
+}
+
+} // namespace
+} // namespace amnt::crypto

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitops.hh"
+#include "crypto/siphash.hh"
+
+namespace amnt::crypto
+{
+namespace
+{
+
+// Reference vectors from the SipHash reference implementation
+// (key 000102...0f, message bytes 0,1,2,...,len-1), interpreted as
+// little-endian 64-bit values.
+constexpr std::uint64_t kRef[16] = {
+    0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+    0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+    0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL,
+    0x9e0082df0ba9e4b0ULL, 0x7a5dbbc594ddb9f3ULL, 0xf4b32f46226bada7ULL,
+    0x751e8fbc860ee5fbULL, 0x14ea5627c0843d90ULL, 0xf723ca908e7af2eeULL,
+    0xa129ca6149be45e5ULL,
+};
+
+SipHash24
+refKeyed()
+{
+    return SipHash24(0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL);
+}
+
+TEST(SipHash, ReferenceVectors)
+{
+    const SipHash24 sip = refKeyed();
+    std::vector<std::uint8_t> msg;
+    for (unsigned len = 0; len < 16; ++len) {
+        EXPECT_EQ(sip.mac(msg.data(), msg.size()), kRef[len])
+            << "length " << len;
+        msg.push_back(static_cast<std::uint8_t>(len));
+    }
+}
+
+TEST(SipHash, MacWordsMatchesByteForm)
+{
+    const SipHash24 sip(0x1234, 0x5678);
+    std::uint8_t buf[16];
+    store64le(buf, 0xdeadbeefcafef00dULL);
+    store64le(buf + 8, 0x0123456789abcdefULL);
+    EXPECT_EQ(sip.macWords(0xdeadbeefcafef00dULL,
+                           0x0123456789abcdefULL),
+              sip.mac(buf, sizeof(buf)));
+}
+
+TEST(SipHash, KeySeparation)
+{
+    const SipHash24 a(1, 2), b(1, 3);
+    EXPECT_NE(a.mac("hello", 5), b.mac("hello", 5));
+}
+
+TEST(SipHash, LengthBinding)
+{
+    const SipHash24 sip(1, 2);
+    const std::uint8_t zeros[16] = {};
+    EXPECT_NE(sip.mac(zeros, 8), sip.mac(zeros, 9));
+    EXPECT_NE(sip.mac(zeros, 15), sip.mac(zeros, 16));
+}
+
+} // namespace
+} // namespace amnt::crypto

@@ -1,0 +1,126 @@
+/**
+ * End-to-end integration: full systems (cores + caches + OS + MEE +
+ * NVM) running synthetic benchmarks, including crash/recovery of the
+ * whole machine and protocol-relative performance shape checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hh"
+#include "sim/system.hh"
+
+namespace amnt::sim
+{
+namespace
+{
+
+SystemConfig
+smallSystem(mee::Protocol p)
+{
+    SystemConfig cfg = SystemConfig::singleProgram(p);
+    cfg.mee.dataBytes = 256ull << 20; // 256 MB
+    cfg.mee.metaCache = {"mcache", 32 * 1024, 8, 2};
+    cfg.privateLevels = {
+        {"l1d", 32 * 1024, 8, 2},
+        {"l2", 128 * 1024, 8, 12},
+    };
+    return cfg;
+}
+
+WorkloadConfig
+mediumWorkload()
+{
+    WorkloadConfig w;
+    w.name = "medium";
+    w.footprintPages = 4096;
+    w.memIntensity = 0.25;
+    w.writeFraction = 0.35;
+    w.hotPagesFraction = 0.08;
+    w.seed = 3;
+    return w;
+}
+
+TEST(EndToEnd, AmntBeatsStrictAndApproachesLeaf)
+{
+    Cycle leaf = 0, strict = 0, amnt = 0;
+    for (auto [p, out] :
+         {std::pair{mee::Protocol::Leaf, &leaf},
+          std::pair{mee::Protocol::Strict, &strict},
+          std::pair{mee::Protocol::Amnt, &amnt}}) {
+        System sys(smallSystem(p));
+        sys.addProcess(mediumWorkload());
+        *out = sys.run(50000).cycles;
+    }
+    EXPECT_LT(amnt, strict);
+    // AMNT should be far closer to leaf than to strict.
+    const auto gap_to_leaf = static_cast<std::int64_t>(amnt) -
+                             static_cast<std::int64_t>(leaf);
+    const auto gap_to_strict = static_cast<std::int64_t>(strict) -
+                               static_cast<std::int64_t>(amnt);
+    EXPECT_LT(gap_to_leaf, gap_to_strict / 2);
+}
+
+TEST(EndToEnd, WholeMachineCrashRecovery)
+{
+    System sys(smallSystem(mee::Protocol::Amnt));
+    sys.addProcess(mediumWorkload());
+    sys.run(40000);
+
+    // Power failure: on-chip caches and the MEE's volatile state go.
+    sys.engine().crash();
+    const auto report = sys.engine().recover();
+    EXPECT_TRUE(report.success);
+    EXPECT_EQ(sys.engine().violations(), 0ull);
+}
+
+TEST(EndToEnd, SubtreeTracksTheHotRegion)
+{
+    SystemConfig cfg = smallSystem(mee::Protocol::Amnt);
+    System sys(cfg);
+    WorkloadConfig w = mediumWorkload();
+    w.writeHotFraction = 0.95;
+    w.hotPagesFraction = 0.02; // tight hot set
+    sys.addProcess(w);
+    const RunResult r = sys.run(60000);
+    EXPECT_GT(r.subtreeHitRate, 0.5);
+}
+
+TEST(EndToEnd, AmntPpImprovesSubtreeHitRateUnderMultiprogramming)
+{
+    auto run = [](bool amntpp) {
+        SystemConfig cfg =
+            SystemConfig::multiProgram(mee::Protocol::Amnt);
+        cfg.mee.dataBytes = 256ull << 20;
+        cfg.mee.metaCache = {"mcache", 32 * 1024, 8, 2};
+        cfg.amntpp = amntpp;
+        cfg.daemonEvery = 20000;
+        System sys(cfg);
+        WorkloadConfig a = mediumWorkload();
+        a.seed = 11;
+        a.churnEvery = 500;
+        WorkloadConfig b = mediumWorkload();
+        b.seed = 22;
+        b.churnEvery = 500;
+        sys.addProcess(a);
+        sys.addProcess(b);
+        return sys.run(60000);
+    };
+    const RunResult plain = run(false);
+    const RunResult biased = run(true);
+    EXPECT_GE(biased.subtreeHitRate, plain.subtreeHitRate);
+}
+
+TEST(EndToEnd, ParsecPresetRunsCleanly)
+{
+    SystemConfig cfg = smallSystem(mee::Protocol::Amnt);
+    System sys(cfg);
+    WorkloadConfig w = parsecPreset("bodytrack");
+    w.footprintPages = 8192; // scale into the 256 MB test device
+    sys.addProcess(w);
+    const RunResult r = sys.run(50000);
+    EXPECT_GT(r.dataAccesses, 0ull);
+    EXPECT_EQ(sys.engine().violations(), 0ull);
+}
+
+} // namespace
+} // namespace amnt::sim

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "mee/anubis.hh"
+#include "mee/mee_test_util.hh"
+
+namespace amnt
+{
+namespace
+{
+
+using test::Rig;
+
+mee::AnubisEngine &
+anubis(Rig &rig)
+{
+    return static_cast<mee::AnubisEngine &>(*rig.engine);
+}
+
+TEST(Anubis, ShadowTableTracksCacheOccupancy)
+{
+    Rig rig(mee::Protocol::Anubis);
+    for (std::uint64_t i = 0; i < 400; ++i)
+        test::writePattern(*rig.engine, i * 4096, i);
+    EXPECT_GT(anubis(rig).shadowEntries(), 0ull);
+    EXPECT_LE(anubis(rig).shadowEntries(),
+              rig.engine->metaCache().lines());
+}
+
+TEST(Anubis, ShadowWritesAccounted)
+{
+    Rig rig(mee::Protocol::Anubis);
+    test::writePattern(*rig.engine, 0, 1);
+    EXPECT_GT(rig.engine->stats().get("shadow_writes"), 0ull);
+}
+
+TEST(Anubis, CrashRecoverSucceedsWithDirtyMetadata)
+{
+    Rig rig(mee::Protocol::Anubis);
+    for (std::uint64_t i = 0; i < 300; ++i)
+        test::writePattern(*rig.engine, (i % 200) * 4096 + (i % 2) * 64,
+                           i + 7);
+    // Anubis leaves tree state lazy, so there IS stale metadata...
+    EXPECT_FALSE(rig.engine->staleMetadataBlocks().empty());
+    rig.engine->crash();
+    const auto report = rig.engine->recover();
+    // ...but the shadow table restores it all.
+    EXPECT_TRUE(report.success);
+    // Writes at i and i+200 hit the same address, so the i+7 pattern
+    // for i in [100, 300) is the final content everywhere.
+    for (std::uint64_t i = 100; i < 300; ++i)
+        EXPECT_TRUE(test::checkPattern(
+            *rig.engine, (i % 200) * 4096 + (i % 2) * 64, i + 7))
+            << i;
+    EXPECT_EQ(rig.engine->violations(), 0ull);
+}
+
+TEST(Anubis, RecoveryBoundedByCacheNotFootprint)
+{
+    Rig small(mee::Protocol::Anubis);
+    Rig large(mee::Protocol::Anubis);
+    for (std::uint64_t i = 0; i < 16; ++i)
+        test::writePattern(*small.engine, i * 4096, i);
+    for (std::uint64_t i = 0; i < 900; ++i)
+        test::writePattern(*large.engine, i * 4096, i);
+
+    small.engine->crash();
+    large.engine->crash();
+    const auto rs = small.engine->recover();
+    const auto rl = large.engine->recover();
+    ASSERT_TRUE(rs.success);
+    ASSERT_TRUE(rl.success);
+    // The modeled time is a function of the cache size only.
+    EXPECT_DOUBLE_EQ(rs.estimatedMs, rl.estimatedMs);
+    // Restore traffic is bounded by cache lines, not the footprint.
+    EXPECT_LE(rl.blocksRead, large.engine->metaCache().lines());
+}
+
+TEST(Anubis, MissesCostMoreThanHits)
+{
+    Rig rig(mee::Protocol::Anubis);
+    // Warm a single page's metadata.
+    test::writePattern(*rig.engine, 0x4000, 1);
+    std::uint8_t buf[kBlockSize];
+    const Cycle warm = rig.engine->read(0x4000, buf);
+
+    // A cold page's first read misses several metadata levels; each
+    // miss persists a shadow entry on the critical path.
+    test::writePattern(*rig.engine, 200 * 4096, 2);
+    for (std::uint64_t i = 0; i < 500; ++i) // evict page-200 metadata
+        test::writePattern(*rig.engine, (300 + i) * 4096, i);
+    const Cycle cold = rig.engine->read(200 * 4096, buf);
+    EXPECT_GT(cold, warm);
+}
+
+} // namespace
+} // namespace amnt

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "mee/bmf.hh"
+#include "mee/mee_test_util.hh"
+
+namespace amnt
+{
+namespace
+{
+
+using test::Rig;
+
+mee::BmfEngine &
+bmf(Rig &rig)
+{
+    return static_cast<mee::BmfEngine &>(*rig.engine);
+}
+
+TEST(Bmf, StartsWithGlobalRootOnly)
+{
+    Rig rig(mee::Protocol::Bmf);
+    EXPECT_EQ(bmf(rig).rootSetSize(), 1ull);
+    EXPECT_EQ(bmf(rig).coveringLevel(0), 1u);
+}
+
+TEST(Bmf, FullCoverageInvariantHolds)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.bmfInterval = 64;
+    Rig rig(mee::Protocol::Bmf, cfg);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i)
+        test::writePattern(*rig.engine,
+                           rng.below(1024) * 4096 + rng.below(4) * 64,
+                           i);
+    for (std::uint64_t c = 0; c < 1024; c += 41)
+        EXPECT_TRUE(bmf(rig).covers(c)) << "counter " << c;
+}
+
+TEST(Bmf, PruningDescendsTowardHotLeaves)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.bmfInterval = 64;
+    Rig rig(mee::Protocol::Bmf, cfg);
+    // Hammer one page; the covering root should be pruned deeper.
+    for (int i = 0; i < 1000; ++i)
+        test::writePattern(*rig.engine, 0x7000 + (i % 8) * 64, i);
+    const std::uint64_t cidx = rig.engine->map().counterIndexOf(0x7000);
+    EXPECT_GT(bmf(rig).coveringLevel(cidx), 1u);
+    EXPECT_GT(rig.engine->stats().get("bmf_prunes"), 0ull);
+}
+
+TEST(Bmf, HotWritesGetCheaperAfterAdaptation)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.bmfInterval = 64;
+    Rig rig(mee::Protocol::Bmf, cfg);
+    std::uint8_t buf[kBlockSize] = {9};
+
+    Cycle early = 0;
+    for (int i = 0; i < 64; ++i)
+        early += rig.engine->write(0x8000 + (i % 8) * 64, buf);
+    for (int i = 0; i < 1500; ++i)
+        rig.engine->write(0x8000 + (i % 8) * 64, buf);
+    Cycle late = 0;
+    for (int i = 0; i < 64; ++i)
+        late += rig.engine->write(0x8000 + (i % 8) * 64, buf);
+    EXPECT_LT(late, early);
+}
+
+TEST(Bmf, NothingStaleBelowCoveringRoots)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.bmfInterval = 64;
+    Rig rig(mee::Protocol::Bmf, cfg);
+    Rng rng(6);
+    for (int i = 0; i < 1500; ++i)
+        test::writePattern(*rig.engine, rng.below(512) * 4096, i);
+
+    // Stale tree nodes may exist only above covering roots (they are
+    // recomputed from the NV root set at recovery).
+    for (Addr a : rig.engine->staleMetadataBlocks()) {
+        ASSERT_EQ(rig.engine->map().classify(a), mem::Region::Tree);
+        const bmt::NodeRef ref = rig.engine->map().nodeOfAddr(a);
+        // Any counter under this node must have a covering root at
+        // the node's own level (the cover itself: its latest value
+        // lives in the NV root cache) or deeper.
+        const std::uint64_t counters_per =
+            rig.engine->map().geometry().countersPerNode(ref.level);
+        const std::uint64_t c = ref.index * counters_per;
+        EXPECT_GE(bmf(rig).coveringLevel(c), ref.level);
+    }
+}
+
+TEST(Bmf, CrashRecoveryImmediateAndVerified)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.bmfInterval = 32;
+    Rig rig(mee::Protocol::Bmf, cfg);
+    for (std::uint64_t i = 0; i < 400; ++i)
+        test::writePattern(*rig.engine, (i % 256) * 4096, i);
+    rig.engine->crash();
+    const auto report = rig.engine->recover();
+    EXPECT_TRUE(report.success);
+    EXPECT_DOUBLE_EQ(report.estimatedMs, 0.0);
+    for (std::uint64_t i = 256; i < 400; ++i)
+        EXPECT_TRUE(test::checkPattern(*rig.engine,
+                                       (i % 256) * 4096, i));
+    EXPECT_EQ(rig.engine->violations(), 0ull);
+}
+
+} // namespace
+} // namespace amnt

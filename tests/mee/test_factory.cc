@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/amnt.hh"
+#include "mee/mee_test_util.hh"
+
+namespace amnt
+{
+namespace
+{
+
+TEST(Factory, MakesEveryProtocol)
+{
+    const mee::MeeConfig cfg = test::smallConfig();
+    for (mee::Protocol p :
+         {mee::Protocol::Volatile, mee::Protocol::Strict,
+          mee::Protocol::Leaf, mee::Protocol::Osiris,
+          mee::Protocol::Anubis, mee::Protocol::Bmf,
+          mee::Protocol::Amnt}) {
+        mem::NvmDevice nvm(
+            mem::MemoryMap(cfg.dataBytes).deviceBytes());
+        auto engine = core::makeEngine(p, cfg, nvm);
+        ASSERT_NE(engine, nullptr);
+        EXPECT_EQ(engine->protocol(), p);
+    }
+}
+
+TEST(Factory, ProtocolNamesMatchFigureLabels)
+{
+    EXPECT_STREQ(protocolName(mee::Protocol::Volatile), "volatile");
+    EXPECT_STREQ(protocolName(mee::Protocol::Strict), "strict");
+    EXPECT_STREQ(protocolName(mee::Protocol::Leaf), "leaf");
+    EXPECT_STREQ(protocolName(mee::Protocol::Osiris), "osiris");
+    EXPECT_STREQ(protocolName(mee::Protocol::Anubis), "anubis");
+    EXPECT_STREQ(protocolName(mee::Protocol::Bmf), "bmf");
+    EXPECT_STREQ(protocolName(mee::Protocol::Amnt), "amnt");
+}
+
+TEST(Factory, BaselineFactoryRejectsAmnt)
+{
+    const mee::MeeConfig cfg = test::smallConfig();
+    mem::NvmDevice nvm(mem::MemoryMap(cfg.dataBytes).deviceBytes());
+    EXPECT_EXIT(
+        mee::MemoryEngine::makeBaseline(mee::Protocol::Amnt, cfg, nvm),
+        ::testing::ExitedWithCode(1), "core::makeEngine");
+}
+
+TEST(Factory, EngineRejectsUndersizedDevice)
+{
+    const mee::MeeConfig cfg = test::smallConfig();
+    mem::NvmDevice nvm(cfg.dataBytes); // no room for metadata
+    EXPECT_EXIT(core::makeEngine(mee::Protocol::Leaf, cfg, nvm),
+                ::testing::ExitedWithCode(1), "smaller than required");
+}
+
+TEST(Factory, AmntRejectsBadSubtreeLevel)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.amntSubtreeLevel = 99;
+    mem::NvmDevice nvm(mem::MemoryMap(cfg.dataBytes).deviceBytes());
+    EXPECT_EXIT(core::makeEngine(mee::Protocol::Amnt, cfg, nvm),
+                ::testing::ExitedWithCode(1), "subtree level");
+}
+
+} // namespace
+} // namespace amnt

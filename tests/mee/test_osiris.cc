@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "mee/mee_test_util.hh"
+
+namespace amnt
+{
+namespace
+{
+
+using test::Rig;
+
+TEST(Osiris, CounterStalenessBoundedByStopLoss)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.osirisStopLoss = 4;
+    Rig rig(mee::Protocol::Osiris, cfg);
+
+    // Three writes to one block: fewer than the stop-loss, so the
+    // persisted counter lags by exactly three.
+    for (int i = 0; i < 3; ++i)
+        test::writePattern(*rig.engine, 0x1000, i);
+
+    const std::uint64_t cidx = rig.engine->map().counterIndexOf(0x1000);
+    mem::Block persisted_raw;
+    rig.nvm->peek(rig.engine->map().counterBase() + cidx * kBlockSize,
+                  persisted_raw);
+    const auto persisted =
+        bmt::CounterBlock::deserialize(persisted_raw);
+    const auto &latest = rig.engine->treeState().counter(cidx);
+    const unsigned slot = (0x1000 / kBlockSize) % kBlocksPerPage;
+    EXPECT_EQ(latest.minors[slot], 3);
+    EXPECT_EQ(persisted.minors[slot], 0);
+
+    // The fourth write crosses the stop-loss and persists.
+    test::writePattern(*rig.engine, 0x1000, 9);
+    rig.nvm->peek(rig.engine->map().counterBase() + cidx * kBlockSize,
+                  persisted_raw);
+    EXPECT_EQ(bmt::CounterBlock::deserialize(persisted_raw)
+                  .minors[slot],
+              4);
+}
+
+TEST(Osiris, TrialRecoveryRestoresExactCounters)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.osirisStopLoss = 4;
+    Rig rig(mee::Protocol::Osiris, cfg);
+
+    Rng rng(77);
+    for (int i = 0; i < 500; ++i) {
+        const Addr a = rng.below(256) * 4096 + rng.below(8) * 64;
+        test::writePattern(*rig.engine, a, 1000 + i);
+    }
+
+    // Snapshot the architectural counters before the crash.
+    std::unordered_map<std::uint64_t, bmt::CounterBlock> before;
+    rig.engine->treeState().forEachCounter(
+        [&](std::uint64_t idx, const bmt::CounterBlock &cb) {
+            before[idx] = cb;
+        });
+
+    rig.engine->crash();
+    const auto report = rig.engine->recover();
+    ASSERT_TRUE(report.success);
+
+    // Every recovered counter equals the pre-crash architecture.
+    for (const auto &kv : before)
+        EXPECT_EQ(rig.engine->treeState().counter(kv.first), kv.second)
+            << "counter " << kv.first;
+}
+
+TEST(Osiris, RecoveredDataVerifies)
+{
+    Rig rig(mee::Protocol::Osiris);
+    for (std::uint64_t i = 0; i < 120; ++i)
+        test::writePattern(*rig.engine, i * 4096 + (i % 3) * 64,
+                           i * 3 + 1);
+    rig.engine->crash();
+    ASSERT_TRUE(rig.engine->recover().success);
+    for (std::uint64_t i = 0; i < 120; ++i)
+        EXPECT_TRUE(test::checkPattern(
+            *rig.engine, i * 4096 + (i % 3) * 64, i * 3 + 1));
+    EXPECT_EQ(rig.engine->violations(), 0ull);
+}
+
+TEST(Osiris, OverflowForcesCounterPersist)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.osirisStopLoss = 200; // never persist by count alone
+    Rig rig(mee::Protocol::Osiris, cfg);
+    for (int i = 0; i < 128; ++i) // overflow at write 128
+        test::writePattern(*rig.engine, 0x2000, i);
+
+    const std::uint64_t cidx = rig.engine->map().counterIndexOf(0x2000);
+    mem::Block raw;
+    rig.nvm->peek(rig.engine->map().counterBase() + cidx * kBlockSize,
+                  raw);
+    EXPECT_EQ(bmt::CounterBlock::deserialize(raw).major, 1ull);
+}
+
+TEST(Osiris, FewerCounterPersistsThanLeaf)
+{
+    Rig o(mee::Protocol::Osiris);
+    Rig l(mee::Protocol::Leaf);
+    for (int i = 0; i < 400; ++i) {
+        test::writePattern(*o.engine, 0x3000 + (i % 4) * 64, i);
+        test::writePattern(*l.engine, 0x3000 + (i % 4) * 64, i);
+    }
+    EXPECT_LT(o.nvm->writes(), l.nvm->writes());
+}
+
+TEST(Osiris, RecoveryCostExceedsLeaf)
+{
+    // Same footprint, crash both: Osiris needs the extra data reads
+    // for its trials, so its modeled recovery traffic is larger.
+    Rig o(mee::Protocol::Osiris);
+    Rig l(mee::Protocol::Leaf);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        test::writePattern(*o.engine, i * 4096, i);
+        test::writePattern(*l.engine, i * 4096, i);
+    }
+    o.engine->crash();
+    l.engine->crash();
+    const auto ro = o.engine->recover();
+    const auto rl = l.engine->recover();
+    ASSERT_TRUE(ro.success);
+    ASSERT_TRUE(rl.success);
+    EXPECT_GT(ro.blocksRead, rl.blocksRead);
+}
+
+} // namespace
+} // namespace amnt

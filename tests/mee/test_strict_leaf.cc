@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mee/mee_test_util.hh"
+
+namespace amnt
+{
+namespace
+{
+
+using test::Rig;
+
+TEST(Strict, NothingStaleEver)
+{
+    Rig rig(mee::Protocol::Strict);
+    for (std::uint64_t i = 0; i < 200; ++i)
+        test::writePattern(*rig.engine, i * 4096 + (i % 8) * 64, i);
+    EXPECT_TRUE(rig.engine->staleMetadataBlocks().empty());
+}
+
+TEST(Strict, RecoveryIsImmediateAndSucceeds)
+{
+    Rig rig(mee::Protocol::Strict);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        test::writePattern(*rig.engine, i * 4096, i);
+    rig.engine->crash();
+    const auto report = rig.engine->recover();
+    EXPECT_TRUE(report.success);
+    EXPECT_DOUBLE_EQ(report.estimatedMs, 0.0);
+    EXPECT_EQ(report.blocksRead, 0ull);
+    for (std::uint64_t i = 0; i < 100; i += 13)
+        EXPECT_TRUE(test::checkPattern(*rig.engine, i * 4096, i));
+    EXPECT_EQ(rig.engine->violations(), 0ull);
+}
+
+TEST(Leaf, CountersAndHmacsNeverStale)
+{
+    Rig rig(mee::Protocol::Leaf);
+    for (std::uint64_t i = 0; i < 300; ++i)
+        test::writePattern(*rig.engine, (i % 150) * 4096, i);
+    for (Addr a : rig.engine->staleMetadataBlocks()) {
+        EXPECT_EQ(rig.engine->map().classify(a), mem::Region::Tree)
+            << "stale non-tree block";
+    }
+}
+
+TEST(Leaf, TreeNodesAreLazyDirty)
+{
+    Rig rig(mee::Protocol::Leaf);
+    for (std::uint64_t i = 0; i < 50; ++i)
+        test::writePattern(*rig.engine, i * 4096, i);
+    EXPECT_FALSE(rig.engine->staleMetadataBlocks().empty());
+}
+
+TEST(Leaf, CrashRecoverVerifiesAllData)
+{
+    Rig rig(mee::Protocol::Leaf);
+    for (std::uint64_t i = 0; i < 200; ++i)
+        test::writePattern(*rig.engine, i * 4096 + (i % 4) * 64,
+                           500 + i);
+    rig.engine->crash();
+    const auto report = rig.engine->recover();
+    EXPECT_TRUE(report.success);
+    EXPECT_GT(report.blocksRead, 0ull);
+    EXPECT_GT(report.estimatedMs, 0.0);
+    EXPECT_EQ(report.countersRecovered, 200ull);
+    for (std::uint64_t i = 0; i < 200; ++i)
+        EXPECT_TRUE(test::checkPattern(
+            *rig.engine, i * 4096 + (i % 4) * 64, 500 + i));
+    EXPECT_EQ(rig.engine->violations(), 0ull);
+}
+
+TEST(Leaf, RecoveredStateSupportsFurtherWrites)
+{
+    Rig rig(mee::Protocol::Leaf);
+    test::writePattern(*rig.engine, 0x1000, 1);
+    rig.engine->crash();
+    ASSERT_TRUE(rig.engine->recover().success);
+    test::writePattern(*rig.engine, 0x1000, 2);
+    test::writePattern(*rig.engine, 0x9000, 3);
+    EXPECT_TRUE(test::checkPattern(*rig.engine, 0x1000, 2));
+    EXPECT_TRUE(test::checkPattern(*rig.engine, 0x9000, 3));
+
+    // Even across a second crash.
+    rig.engine->crash();
+    ASSERT_TRUE(rig.engine->recover().success);
+    EXPECT_TRUE(test::checkPattern(*rig.engine, 0x9000, 3));
+}
+
+TEST(Volatile, RecoveryFailsWithDirtyState)
+{
+    setQuiet(true);
+    Rig rig(mee::Protocol::Volatile);
+    for (std::uint64_t i = 0; i < 50; ++i)
+        test::writePattern(*rig.engine, i * 4096, i);
+    rig.engine->crash();
+    const auto report = rig.engine->recover();
+    EXPECT_FALSE(report.success) << "no NV root register to trust";
+    setQuiet(false);
+}
+
+TEST(WriteLatency, StrictCostsMoreThanLeafCostsMoreThanVolatile)
+{
+    Rig v(mee::Protocol::Volatile);
+    Rig l(mee::Protocol::Leaf);
+    Rig s(mee::Protocol::Strict);
+    std::uint8_t buf[kBlockSize] = {1};
+
+    Cycle cv = 0, cl = 0, cs = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        cv += v.engine->write(i * 4096, buf);
+        cl += l.engine->write(i * 4096, buf);
+        cs += s.engine->write(i * 4096, buf);
+    }
+    EXPECT_LT(cv, cl);
+    EXPECT_LT(cl, cs);
+    // Strict serializes the whole ancestral path: the gap must be
+    // roughly the path length, not marginal.
+    EXPECT_GT(cs, cl * 2);
+}
+
+TEST(Persistence, StrictGeneratesMoreNvmWritesThanLeaf)
+{
+    Rig l(mee::Protocol::Leaf);
+    Rig s(mee::Protocol::Strict);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        test::writePattern(*l.engine, i * 4096, i);
+        test::writePattern(*s.engine, i * 4096, i);
+    }
+    EXPECT_GT(s.nvm->writes(), l.nvm->writes());
+}
+
+} // namespace
+} // namespace amnt

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory_map.hh"
+
+namespace amnt::mem
+{
+namespace
+{
+
+TEST(MemoryMap, RegionsAreOrderedAndDisjoint)
+{
+    const MemoryMap map(64ull << 20); // 64 MB
+    EXPECT_LT(map.dataBytes(), map.counterBase() + 1);
+    EXPECT_LT(map.counterBase(), map.hmacBase());
+    EXPECT_LT(map.hmacBase(), map.treeBase());
+    EXPECT_LT(map.treeBase(), map.deviceBytes());
+}
+
+TEST(MemoryMap, Classification)
+{
+    const MemoryMap map(64ull << 20);
+    EXPECT_EQ(map.classify(0), Region::Data);
+    EXPECT_EQ(map.classify(map.dataBytes() - 1), Region::Data);
+    EXPECT_EQ(map.classify(map.counterBase()), Region::Counter);
+    EXPECT_EQ(map.classify(map.hmacBase()), Region::Hmac);
+    EXPECT_EQ(map.classify(map.treeBase()), Region::Tree);
+}
+
+TEST(MemoryMap, CounterPerPage)
+{
+    const MemoryMap map(64ull << 20);
+    EXPECT_EQ(map.counterIndexOf(0), 0ull);
+    EXPECT_EQ(map.counterIndexOf(4095), 0ull);
+    EXPECT_EQ(map.counterIndexOf(4096), 1ull);
+    EXPECT_EQ(map.counterAddrOf(4096),
+              map.counterBase() + kBlockSize);
+}
+
+TEST(MemoryMap, HmacEntryPacking)
+{
+    const MemoryMap map(64ull << 20);
+    // Eight consecutive data blocks share one HMAC block.
+    EXPECT_EQ(map.hmacAddrOf(0), map.hmacAddrOf(7 * kBlockSize));
+    EXPECT_NE(map.hmacAddrOf(0), map.hmacAddrOf(8 * kBlockSize));
+    EXPECT_EQ(MemoryMap::hmacOffsetOf(0), 0ull);
+    EXPECT_EQ(MemoryMap::hmacOffsetOf(kBlockSize), 8ull);
+    EXPECT_EQ(MemoryMap::hmacOffsetOf(7 * kBlockSize), 56ull);
+}
+
+TEST(MemoryMap, NodeAddressRoundTrip)
+{
+    const MemoryMap map(64ull << 20);
+    const auto &geo = map.geometry();
+    for (unsigned level = 1; level <= geo.nodeLevels(); ++level) {
+        const bmt::NodeRef ref{level, geo.nodesAt(level) - 1};
+        const Addr a = map.nodeAddrOf(ref);
+        EXPECT_EQ(map.classify(a), Region::Tree);
+        EXPECT_EQ(map.nodeOfAddr(a), ref);
+    }
+}
+
+TEST(MemoryMap, EightGigabyteGeometryMatchesPaper)
+{
+    const MemoryMap map(8ull << 30);
+    // Paper: "8-level BMT" = 7 node levels + the counter leaves.
+    EXPECT_EQ(map.geometry().nodeLevels(), 7u);
+    EXPECT_EQ(map.geometry().totalLevels(), 8u);
+    // Level 3 has 64 nodes covering 128 MB each.
+    EXPECT_EQ(map.geometry().nodesAt(3), 64ull);
+    EXPECT_EQ(map.geometry().countersPerNode(3) * kPageSize,
+              128ull << 20);
+}
+
+TEST(MemoryMap, MetadataOverheadIsSmall)
+{
+    const MemoryMap map(1ull << 30);
+    const double overhead =
+        static_cast<double>(map.deviceBytes() - map.dataBytes()) /
+        static_cast<double>(map.dataBytes());
+    // Counters 1/64 + HMACs 1/8 + tree nodes ~1/448.
+    EXPECT_LT(overhead, 0.16);
+    EXPECT_GT(overhead, 0.13);
+}
+
+} // namespace
+} // namespace amnt::mem

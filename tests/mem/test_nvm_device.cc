@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "mem/nvm_device.hh"
+
+namespace amnt::mem
+{
+namespace
+{
+
+TEST(NvmDevice, UnwrittenBlocksReadZero)
+{
+    NvmDevice nvm(1 << 20);
+    Block b;
+    b.fill(0xff);
+    nvm.readBlock(0x100, b);
+    for (auto byte : b)
+        EXPECT_EQ(byte, 0);
+}
+
+TEST(NvmDevice, WriteReadRoundTrip)
+{
+    NvmDevice nvm(1 << 20);
+    Block in;
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<std::uint8_t>(i);
+    nvm.writeBlock(0x40, in);
+    Block out;
+    nvm.readBlock(0x40, out);
+    EXPECT_EQ(in, out);
+}
+
+TEST(NvmDevice, BlockAlignmentSharesStorage)
+{
+    NvmDevice nvm(1 << 20);
+    Block in{};
+    in[0] = 0xaa;
+    nvm.writeBlock(0x80, in);
+    Block out;
+    nvm.readBlock(0x80 + 17, out); // same block, unaligned byte addr
+    EXPECT_EQ(out[0], 0xaa);
+}
+
+TEST(NvmDevice, TrafficCounting)
+{
+    NvmDevice nvm(1 << 20);
+    Block b{};
+    nvm.writeBlock(0, b);
+    nvm.readBlock(0, b);
+    nvm.touchRead(64);
+    nvm.touchWrite(64);
+    EXPECT_EQ(nvm.reads(), 2ull);
+    EXPECT_EQ(nvm.writes(), 2ull);
+}
+
+TEST(NvmDevice, PeekDoesNotCount)
+{
+    NvmDevice nvm(1 << 20);
+    Block b{};
+    nvm.peek(0, b);
+    EXPECT_EQ(nvm.reads(), 0ull);
+}
+
+TEST(NvmDevice, ContentsSurviveCrash)
+{
+    NvmDevice nvm(1 << 20);
+    Block in{};
+    in[5] = 0x55;
+    nvm.writeBlock(0x1000, in);
+    nvm.crash();
+    Block out;
+    nvm.readBlock(0x1000, out);
+    EXPECT_EQ(out[5], 0x55);
+}
+
+TEST(NvmDevice, TamperFlipsBits)
+{
+    NvmDevice nvm(1 << 20);
+    Block in{};
+    in[3] = 0x0f;
+    nvm.writeBlock(0, in);
+    EXPECT_TRUE(nvm.tamper(0, 3, 0xff));
+    Block out;
+    nvm.readBlock(0, out);
+    EXPECT_EQ(out[3], 0xf0);
+}
+
+TEST(NvmDevice, TamperUnwrittenBlock)
+{
+    NvmDevice nvm(1 << 20);
+    EXPECT_FALSE(nvm.tamper(0x200, 0, 0x01));
+    Block out;
+    nvm.readBlock(0x200, out);
+    EXPECT_EQ(out[0], 0x01);
+}
+
+TEST(NvmDevice, ForEachBlockInRange)
+{
+    NvmDevice nvm(1 << 20);
+    Block b{};
+    nvm.writeBlock(0x000, b);
+    nvm.writeBlock(0x100, b);
+    nvm.writeBlock(0x800, b);
+    int in_range = 0;
+    nvm.forEachBlockIn(0x100, 0x800,
+                       [&](Addr, const Block &) { ++in_range; });
+    EXPECT_EQ(in_range, 1);
+    EXPECT_EQ(nvm.blocksTouched(), 3ull);
+}
+
+} // namespace
+} // namespace amnt::mem

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "os/amntpp_allocator.hh"
+
+namespace amnt::os
+{
+namespace
+{
+
+constexpr std::uint64_t kFramesPerRegion = 512;
+
+TEST(AmntPp, RestructureBiasesAllocationsToOneRegion)
+{
+    AmntPpAllocator a(8 * kFramesPerRegion, kFramesPerRegion);
+    Rng rng(3);
+    a.ageSystem(rng, 0.6, /*run_pages=*/64);
+    a.restructure();
+
+    const std::uint64_t biased = a.biasedRegion();
+    int in_biased = 0;
+    for (int i = 0; i < 200; ++i) {
+        auto f = a.allocPage();
+        ASSERT_TRUE(f.has_value());
+        in_biased += a.regionOf(*f) == biased;
+    }
+    // The head of every order list belongs to the biased region, so
+    // allocations concentrate there; a plain aged allocator would
+    // spread over all 8 regions (~25 of 200).
+    EXPECT_GT(in_biased, 100);
+}
+
+TEST(AmntPp, UnbiasedAgedAllocatorScatters)
+{
+    BuddyAllocator a(8 * kFramesPerRegion);
+    Rng rng(3);
+    a.ageSystem(rng, 0.6, /*run_pages=*/64);
+    std::vector<int> per_region(8, 0);
+    for (int i = 0; i < 512; ++i) {
+        auto f = a.allocPage();
+        ASSERT_TRUE(f.has_value());
+        ++per_region[*f / kFramesPerRegion];
+    }
+    int populated = 0;
+    for (int c : per_region)
+        populated += c > 0;
+    EXPECT_GE(populated, 2) << "aged baseline should cross regions";
+}
+
+TEST(AmntPp, RestructureTriggersOnReclamation)
+{
+    AmntPpConfig cfg;
+    cfg.restructureEvery = 8;
+    AmntPpAllocator a(4096, kFramesPerRegion, 10, cfg);
+    std::vector<PageId> frames;
+    for (int i = 0; i < 64; ++i)
+        frames.push_back(*a.allocPage());
+    EXPECT_EQ(a.restructures(), 0ull);
+    for (PageId f : frames)
+        a.freePage(f);
+    EXPECT_GE(a.restructures(), 8ull);
+}
+
+TEST(AmntPp, RestructureChargesInstructions)
+{
+    AmntPpAllocator a(4096, kFramesPerRegion);
+    Rng rng(5);
+    a.ageSystem(rng, 0.5, /*run_pages=*/64);
+    const std::uint64_t before = a.instructions();
+    a.restructure();
+    EXPECT_GT(a.instructions(), before);
+}
+
+TEST(AmntPp, RestructurePreservesAllocatorIntegrity)
+{
+    AmntPpAllocator a(4096, kFramesPerRegion);
+    Rng rng(7);
+    a.ageSystem(rng, 0.7, /*run_pages=*/64);
+    a.restructure();
+
+    // Everything free before is still allocatable exactly once.
+    const std::uint64_t free_before = a.freeFrames();
+    std::set<PageId> seen;
+    while (auto f = a.allocPage())
+        EXPECT_TRUE(seen.insert(*f).second);
+    EXPECT_EQ(seen.size(), free_before);
+}
+
+TEST(AmntPp, RestructureOnEmptyListsIsSafe)
+{
+    AmntPpAllocator a(64, kFramesPerRegion);
+    while (a.allocPage())
+        ;
+    a.restructure();
+    EXPECT_EQ(a.freeFrames(), 0ull);
+}
+
+} // namespace
+} // namespace amnt::os

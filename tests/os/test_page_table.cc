@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "os/page_table.hh"
+
+namespace amnt::os
+{
+namespace
+{
+
+TEST(PageTable, FirstTouchAllocates)
+{
+    BuddyAllocator alloc(256);
+    PageTable pt(alloc);
+    EXPECT_EQ(pt.faults(), 0ull);
+    const Addr p = pt.translate(0x12345);
+    EXPECT_EQ(pt.faults(), 1ull);
+    EXPECT_EQ(p & (kPageSize - 1), 0x345ull); // offset preserved
+    EXPECT_EQ(alloc.freeFrames(), 255ull);
+}
+
+TEST(PageTable, StableTranslation)
+{
+    BuddyAllocator alloc(256);
+    PageTable pt(alloc);
+    const Addr a = pt.translate(0x4000);
+    EXPECT_EQ(pt.translate(0x4000), a);
+    EXPECT_EQ(pt.translate(0x4fff), a + 0xfff);
+    EXPECT_EQ(pt.faults(), 1ull);
+}
+
+TEST(PageTable, DistinctPagesDistinctFrames)
+{
+    BuddyAllocator alloc(256);
+    PageTable pt(alloc);
+    const Addr a = pt.translate(0x0000);
+    const Addr b = pt.translate(0x1000);
+    EXPECT_NE(pageOf(a), pageOf(b));
+}
+
+TEST(PageTable, TwoProcessesNeverShareFrames)
+{
+    BuddyAllocator alloc(256);
+    PageTable p1(alloc), p2(alloc);
+    const Addr a = p1.translate(0x8000);
+    const Addr b = p2.translate(0x8000); // same vaddr, other process
+    EXPECT_NE(pageOf(a), pageOf(b));
+}
+
+TEST(PageTable, ProbeDoesNotAllocate)
+{
+    BuddyAllocator alloc(256);
+    PageTable pt(alloc);
+    Addr out = 0;
+    EXPECT_FALSE(pt.probe(0x9000, out));
+    EXPECT_EQ(pt.faults(), 0ull);
+    pt.translate(0x9000);
+    EXPECT_TRUE(pt.probe(0x9123, out));
+}
+
+TEST(PageTable, UnmapReturnsFrameAndRefaults)
+{
+    BuddyAllocator alloc(256);
+    PageTable pt(alloc);
+    pt.translate(0x3000);
+    EXPECT_EQ(alloc.freeFrames(), 255ull);
+    pt.unmapPage(3);
+    EXPECT_EQ(alloc.freeFrames(), 256ull);
+    pt.translate(0x3000);
+    EXPECT_EQ(pt.faults(), 2ull);
+}
+
+TEST(PageTable, UnmapAllReleasesEverything)
+{
+    BuddyAllocator alloc(256);
+    PageTable pt(alloc);
+    for (int i = 0; i < 50; ++i)
+        pt.translate(static_cast<Addr>(i) * kPageSize);
+    EXPECT_EQ(pt.mappedPages(), 50ull);
+    pt.unmapAll();
+    EXPECT_EQ(pt.mappedPages(), 0ull);
+    EXPECT_EQ(alloc.freeFrames(), 256ull);
+}
+
+TEST(PageTable, ForEachMappingVisitsAll)
+{
+    BuddyAllocator alloc(256);
+    PageTable pt(alloc);
+    pt.translate(0x1000);
+    pt.translate(0x5000);
+    int n = 0;
+    pt.forEachMapping([&](PageId, PageId) { ++n; });
+    EXPECT_EQ(n, 2);
+}
+
+} // namespace
+} // namespace amnt::os

@@ -1,0 +1,110 @@
+/**
+ * Differential property: persistence protocols change WHEN metadata
+ * reaches NVM, never WHAT the data is. Feeding the same operation
+ * stream to every protocol must produce identical readable contents,
+ * and (absent a crash) identical architectural counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mee/mee_test_util.hh"
+
+namespace amnt
+{
+namespace
+{
+
+using test::Rig;
+
+TEST(ProtocolDifferential, AllProtocolsAgreeOnContents)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.dataBytes = 2ull << 20;
+    cfg.amntSubtreeLevel = 2;
+    cfg.bmfInterval = 64;
+
+    std::vector<std::unique_ptr<Rig>> rigs;
+    for (mee::Protocol p :
+         {mee::Protocol::Volatile, mee::Protocol::Strict,
+          mee::Protocol::Leaf, mee::Protocol::Osiris,
+          mee::Protocol::Anubis, mee::Protocol::Bmf,
+          mee::Protocol::Amnt})
+        rigs.push_back(std::make_unique<Rig>(p, cfg));
+
+    Rng rng(31337);
+    std::unordered_map<Addr, std::uint64_t> last;
+    for (int i = 0; i < 600; ++i) {
+        const Addr a =
+            rng.below(512) * kPageSize + rng.below(8) * kBlockSize;
+        if (rng.chance(0.6)) {
+            for (auto &rig : rigs)
+                test::writePattern(*rig->engine, a,
+                                   static_cast<std::uint64_t>(i));
+            last[a] = static_cast<std::uint64_t>(i);
+        } else {
+            for (auto &rig : rigs)
+                rig->engine->read(a);
+        }
+    }
+
+    for (auto &rig : rigs) {
+        for (const auto &kv : last)
+            EXPECT_TRUE(test::checkPattern(*rig->engine, kv.first,
+                                           kv.second))
+                << mee::protocolName(rig->engine->protocol());
+        EXPECT_EQ(rig->engine->violations(), 0ull);
+    }
+
+    // Architectural counters agree across all protocols.
+    const auto &reference = rigs.front()->engine->treeState();
+    for (std::size_t r = 1; r < rigs.size(); ++r) {
+        const auto &other = rigs[r]->engine->treeState();
+        EXPECT_EQ(reference.touchedCounters(), other.touchedCounters());
+        reference.forEachCounter(
+            [&](std::uint64_t idx, const bmt::CounterBlock &cb) {
+                EXPECT_EQ(other.counter(idx), cb)
+                    << mee::protocolName(
+                           rigs[r]->engine->protocol())
+                    << " counter " << idx;
+            });
+    }
+}
+
+TEST(ProtocolDifferential, CrashSurvivorsAgreeAfterRecovery)
+{
+    mee::MeeConfig cfg = test::smallConfig();
+    cfg.dataBytes = 2ull << 20;
+    cfg.amntSubtreeLevel = 2;
+
+    std::vector<std::unique_ptr<Rig>> rigs;
+    for (mee::Protocol p :
+         {mee::Protocol::Strict, mee::Protocol::Leaf,
+          mee::Protocol::Osiris, mee::Protocol::Anubis,
+          mee::Protocol::Bmf, mee::Protocol::Amnt})
+        rigs.push_back(std::make_unique<Rig>(p, cfg));
+
+    Rng rng(4242);
+    std::unordered_map<Addr, std::uint64_t> last;
+    for (int i = 0; i < 400; ++i) {
+        const Addr a = rng.below(256) * kPageSize;
+        for (auto &rig : rigs)
+            test::writePattern(*rig->engine, a,
+                               static_cast<std::uint64_t>(i));
+        last[a] = static_cast<std::uint64_t>(i);
+    }
+
+    for (auto &rig : rigs) {
+        rig->engine->crash();
+        ASSERT_TRUE(rig->engine->recover().success)
+            << mee::protocolName(rig->engine->protocol());
+        for (const auto &kv : last)
+            EXPECT_TRUE(test::checkPattern(*rig->engine, kv.first,
+                                           kv.second))
+                << mee::protocolName(rig->engine->protocol());
+    }
+}
+
+} // namespace
+} // namespace amnt

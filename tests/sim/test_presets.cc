@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/presets.hh"
+
+namespace amnt::sim
+{
+namespace
+{
+
+TEST(Presets, AllParsecBenchmarksResolve)
+{
+    for (const auto &name : parsecBenchmarks()) {
+        const WorkloadConfig w = parsecPreset(name);
+        EXPECT_EQ(w.name, name);
+        EXPECT_GT(w.footprintPages, 0ull);
+        EXPECT_GT(w.memIntensity, 0.0);
+        EXPECT_LE(w.memIntensity, 1.0);
+        EXPECT_GT(w.writeFraction, 0.0);
+        EXPECT_LT(w.writeFraction, 1.0);
+    }
+}
+
+TEST(Presets, AllSpecBenchmarksResolve)
+{
+    for (const auto &name : specBenchmarks()) {
+        const WorkloadConfig w = specPreset(name);
+        EXPECT_EQ(w.name, name);
+        EXPECT_GT(w.footprintPages, 0ull);
+    }
+}
+
+TEST(Presets, MultiprogramPairsAreValidParsec)
+{
+    for (const auto &[a, b] : parsecMultiprogramPairs()) {
+        EXPECT_NO_FATAL_FAILURE(parsecPreset(a));
+        EXPECT_NO_FATAL_FAILURE(parsecPreset(b));
+    }
+    EXPECT_EQ(parsecMultiprogramPairs().size(), 3ull);
+}
+
+TEST(Presets, SeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &name : parsecBenchmarks())
+        seeds.insert(parsecPreset(name).seed);
+    EXPECT_EQ(seeds.size(), parsecBenchmarks().size());
+}
+
+TEST(Presets, CannealMatchesPaperCharacterization)
+{
+    // canneal: large footprint, poor read locality (bad metadata
+    // cache behaviour) but spatially tight writes.
+    const WorkloadConfig w = parsecPreset("canneal");
+    EXPECT_GT(w.footprintPages, 200000ull);
+    EXPECT_LT(w.readHotFraction, 0.2);
+    EXPECT_GT(w.writeHotFraction, 0.7);
+}
+
+TEST(Presets, XzIsMostWriteIntensiveSpec)
+{
+    const double xz = specPreset("xz").memIntensity *
+                      specPreset("xz").writeFraction;
+    for (const auto &name : specBenchmarks()) {
+        if (name == "xz")
+            continue;
+        const WorkloadConfig w = specPreset(name);
+        EXPECT_LT(w.memIntensity * w.writeFraction, xz) << name;
+    }
+}
+
+TEST(Presets, ReadDominatedBenchmarks)
+{
+    EXPECT_LT(specPreset("mcf").writeFraction, 0.1);
+    EXPECT_LT(specPreset("cactuBSSN").writeFraction, 0.1);
+}
+
+} // namespace
+} // namespace amnt::sim

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "sim/trace.hh"
+
+namespace amnt::sim
+{
+namespace
+{
+
+std::string
+tempTracePath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/amnt_trace_" + tag +
+           ".bin";
+}
+
+WorkloadConfig
+sourceConfig()
+{
+    WorkloadConfig w;
+    w.footprintPages = 512;
+    w.memIntensity = 0.5;
+    w.writeFraction = 0.4;
+    w.flushWriteFraction = 0.1;
+    w.seed = 77;
+    return w;
+}
+
+TEST(Trace, RecordReplayRoundTrip)
+{
+    const std::string path = tempTracePath("roundtrip");
+    Workload source(sourceConfig());
+    std::vector<MemRef> expected;
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 500; ++i) {
+            const MemRef r = source.next();
+            writer.append(r);
+            expected.push_back(r);
+        }
+        EXPECT_EQ(writer.count(), 500ull);
+    }
+    TraceReader reader(path);
+    MemRef got;
+    for (const MemRef &want : expected) {
+        ASSERT_TRUE(reader.next(got));
+        EXPECT_EQ(got.vaddr, want.vaddr);
+        EXPECT_EQ(got.type, want.type);
+        EXPECT_EQ(got.flush, want.flush);
+    }
+    EXPECT_FALSE(reader.next(got));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, RewindRestartsStream)
+{
+    const std::string path = tempTracePath("rewind");
+    Workload source(sourceConfig());
+    recordTrace(source, 10, path);
+
+    TraceReader reader(path);
+    MemRef first;
+    ASSERT_TRUE(reader.next(first));
+    MemRef r;
+    while (reader.next(r))
+        ;
+    reader.rewind();
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.vaddr, first.vaddr);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, WorkloadReplayMatchesGenerator)
+{
+    const std::string path = tempTracePath("replay");
+    {
+        Workload source(sourceConfig());
+        recordTrace(source, 1000, path);
+    }
+    Workload source(sourceConfig());
+    WorkloadConfig replay_cfg = sourceConfig();
+    replay_cfg.traceFile = path;
+    Workload replay(replay_cfg);
+    for (int i = 0; i < 1000; ++i) {
+        const MemRef a = source.next();
+        const MemRef b = replay.next();
+        ASSERT_EQ(a.vaddr, b.vaddr) << i;
+        ASSERT_EQ(a.type, b.type) << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, WorkloadReplayWrapsAround)
+{
+    const std::string path = tempTracePath("wrap");
+    {
+        Workload source(sourceConfig());
+        recordTrace(source, 10, path);
+    }
+    WorkloadConfig cfg = sourceConfig();
+    cfg.traceFile = path;
+    Workload replay(cfg);
+    std::vector<Addr> first_pass;
+    for (int i = 0; i < 10; ++i)
+        first_pass.push_back(replay.next().vaddr);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(replay.next().vaddr, first_pass[static_cast<std::size_t>(i)]);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, DrivesAFullSystem)
+{
+    const std::string path = tempTracePath("system");
+    {
+        Workload source(sourceConfig());
+        recordTrace(source, 5000, path);
+    }
+    SystemConfig cfg = SystemConfig::singleProgram(mee::Protocol::Amnt);
+    cfg.mee.dataBytes = 64ull << 20;
+    System sys(cfg);
+    WorkloadConfig w = sourceConfig();
+    w.traceFile = path;
+    sys.addProcess(w);
+    const RunResult r = sys.run(20000);
+    EXPECT_GT(r.dataAccesses, 0ull);
+    EXPECT_EQ(sys.engine().violations(), 0ull);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace amnt::sim

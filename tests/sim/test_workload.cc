@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "sim/workload.hh"
+
+namespace amnt::sim
+{
+namespace
+{
+
+WorkloadConfig
+baseConfig()
+{
+    WorkloadConfig w;
+    w.footprintPages = 1000;
+    w.memIntensity = 0.5;
+    w.writeFraction = 0.3;
+    w.hotPagesFraction = 0.05;
+    w.readHotFraction = 0.8;
+    w.writeHotFraction = 0.8;
+    w.zipfAlpha = 0.9;
+    w.streamFraction = 0.0;
+    w.seed = 1;
+    return w;
+}
+
+TEST(Workload, Deterministic)
+{
+    Workload a(baseConfig()), b(baseConfig());
+    for (int i = 0; i < 1000; ++i) {
+        const MemRef ra = a.next();
+        const MemRef rb = b.next();
+        EXPECT_EQ(ra.vaddr, rb.vaddr);
+        EXPECT_EQ(ra.type, rb.type);
+    }
+}
+
+TEST(Workload, AddressesWithinFootprint)
+{
+    Workload w(baseConfig());
+    for (int i = 0; i < 5000; ++i) {
+        const MemRef r = w.next();
+        EXPECT_LT(pageOf(r.vaddr), 1000ull);
+        EXPECT_EQ(r.vaddr % kBlockSize, 0ull);
+    }
+}
+
+TEST(Workload, WriteFractionApproximatelyHonored)
+{
+    Workload w(baseConfig());
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += w.next().type == AccessType::Write;
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.3, 0.02);
+}
+
+TEST(Workload, HotClusterDominates)
+{
+    Workload w(baseConfig());
+    const std::uint64_t hot_pages = 50; // 5% of 1000
+    int hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hot += pageOf(w.next().vaddr) < hot_pages;
+    EXPECT_GT(hot, n / 2);
+}
+
+TEST(Workload, StreamingWalksSequentiallyByBlock)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.streamFraction = 1.0;
+    Workload w(cfg);
+    Addr prev = w.next().vaddr;
+    for (int i = 0; i < 200; ++i) {
+        const Addr a = w.next().vaddr;
+        EXPECT_EQ(a, (prev + kBlockSize) % (1000 * kPageSize));
+        prev = a;
+    }
+}
+
+TEST(Workload, ChurnEmitsVictims)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.churnEvery = 10;
+    Workload w(cfg);
+    int churns = 0;
+    for (int i = 0; i < 100; ++i) {
+        const MemRef r = w.next();
+        if (r.churnPage) {
+            ++churns;
+            EXPECT_GE(r.churnVictim, 50ull) << "victims must be cold";
+            EXPECT_LT(r.churnVictim, 1000ull);
+        }
+    }
+    EXPECT_EQ(churns, 10);
+}
+
+TEST(Workload, FlushWritesHonorFraction)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.flushWriteFraction = 0.5;
+    Workload w(cfg);
+    int writes = 0, flushes = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const MemRef r = w.next();
+        if (r.type == AccessType::Write) {
+            ++writes;
+            flushes += r.flush;
+        } else {
+            EXPECT_FALSE(r.flush) << "reads never flush";
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(flushes) / writes, 0.5, 0.05);
+}
+
+TEST(Workload, SpatialRunsProduceConsecutiveBlocks)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.spatialRun = 0.9;
+    Workload w(cfg);
+    Addr prev = w.next().vaddr;
+    int consecutive = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const Addr a = w.next().vaddr;
+        consecutive += a == prev + kBlockSize;
+        prev = a;
+    }
+    EXPECT_GT(consecutive, n / 2);
+}
+
+TEST(Workload, IntensityGate)
+{
+    Workload w(baseConfig());
+    Rng rng(5);
+    int issues = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        issues += w.issuesMemRef(rng);
+    EXPECT_NEAR(static_cast<double>(issues) / n, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace amnt::sim
