@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tradeoff.dir/ablation_tradeoff.cc.o"
+  "CMakeFiles/ablation_tradeoff.dir/ablation_tradeoff.cc.o.d"
+  "ablation_tradeoff"
+  "ablation_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_access_histogram.dir/fig03_access_histogram.cc.o"
+  "CMakeFiles/fig03_access_histogram.dir/fig03_access_histogram.cc.o.d"
+  "fig03_access_histogram"
+  "fig03_access_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_access_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_parsec_single.dir/fig04_parsec_single.cc.o"
+  "CMakeFiles/fig04_parsec_single.dir/fig04_parsec_single.cc.o.d"
+  "fig04_parsec_single"
+  "fig04_parsec_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_parsec_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_parsec_multi.dir/fig05_parsec_multi.cc.o"
+  "CMakeFiles/fig05_parsec_multi.dir/fig05_parsec_multi.cc.o.d"
+  "fig05_parsec_multi"
+  "fig05_parsec_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_parsec_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_subtree_level.dir/fig06_subtree_level.cc.o"
+  "CMakeFiles/fig06_subtree_level.dir/fig06_subtree_level.cc.o.d"
+  "fig06_subtree_level"
+  "fig06_subtree_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_subtree_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_subtree_hitrate.dir/fig07_subtree_hitrate.cc.o"
+  "CMakeFiles/fig07_subtree_hitrate.dir/fig07_subtree_hitrate.cc.o.d"
+  "fig07_subtree_hitrate"
+  "fig07_subtree_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_subtree_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_spec2017.dir/fig08_spec2017.cc.o"
+  "CMakeFiles/fig08_spec2017.dir/fig08_spec2017.cc.o.d"
+  "fig08_spec2017"
+  "fig08_spec2017.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_spec2017.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_spec2017.
+# This may be replaced when dependencies are built.

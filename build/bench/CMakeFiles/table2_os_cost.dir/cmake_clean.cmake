@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_os_cost.dir/table2_os_cost.cc.o"
+  "CMakeFiles/table2_os_cost.dir/table2_os_cost.cc.o.d"
+  "table2_os_cost"
+  "table2_os_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_os_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hw_overhead.dir/table3_hw_overhead.cc.o"
+  "CMakeFiles/table3_hw_overhead.dir/table3_hw_overhead.cc.o.d"
+  "table3_hw_overhead"
+  "table3_hw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_recovery.dir/table4_recovery.cc.o"
+  "CMakeFiles/table4_recovery.dir/table4_recovery.cc.o.d"
+  "table4_recovery"
+  "table4_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

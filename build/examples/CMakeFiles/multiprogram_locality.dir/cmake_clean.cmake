@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogram_locality.dir/multiprogram_locality.cpp.o"
+  "CMakeFiles/multiprogram_locality.dir/multiprogram_locality.cpp.o.d"
+  "multiprogram_locality"
+  "multiprogram_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogram_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

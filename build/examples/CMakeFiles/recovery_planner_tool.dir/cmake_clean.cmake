@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_planner_tool.dir/recovery_planner_tool.cpp.o"
+  "CMakeFiles/recovery_planner_tool.dir/recovery_planner_tool.cpp.o.d"
+  "recovery_planner_tool"
+  "recovery_planner_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_planner_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamper_audit.dir/tamper_audit.cpp.o"
+  "CMakeFiles/tamper_audit.dir/tamper_audit.cpp.o.d"
+  "tamper_audit"
+  "tamper_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamper_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

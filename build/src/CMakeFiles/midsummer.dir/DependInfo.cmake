@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmt/counters.cc" "src/CMakeFiles/midsummer.dir/bmt/counters.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/bmt/counters.cc.o.d"
+  "/root/repo/src/bmt/geometry.cc" "src/CMakeFiles/midsummer.dir/bmt/geometry.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/bmt/geometry.cc.o.d"
+  "/root/repo/src/bmt/tree.cc" "src/CMakeFiles/midsummer.dir/bmt/tree.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/bmt/tree.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/midsummer.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/midsummer.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/midsummer.dir/common/log.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/midsummer.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/midsummer.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/midsummer.dir/common/table.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/common/table.cc.o.d"
+  "/root/repo/src/core/amnt.cc" "src/CMakeFiles/midsummer.dir/core/amnt.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/core/amnt.cc.o.d"
+  "/root/repo/src/core/history_buffer.cc" "src/CMakeFiles/midsummer.dir/core/history_buffer.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/core/history_buffer.cc.o.d"
+  "/root/repo/src/core/hw_overhead.cc" "src/CMakeFiles/midsummer.dir/core/hw_overhead.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/core/hw_overhead.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/CMakeFiles/midsummer.dir/core/hybrid.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/core/hybrid.cc.o.d"
+  "/root/repo/src/core/recovery_planner.cc" "src/CMakeFiles/midsummer.dir/core/recovery_planner.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/core/recovery_planner.cc.o.d"
+  "/root/repo/src/crypto/aes128.cc" "src/CMakeFiles/midsummer.dir/crypto/aes128.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/crypto/aes128.cc.o.d"
+  "/root/repo/src/crypto/engines.cc" "src/CMakeFiles/midsummer.dir/crypto/engines.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/crypto/engines.cc.o.d"
+  "/root/repo/src/crypto/hmac_sha256.cc" "src/CMakeFiles/midsummer.dir/crypto/hmac_sha256.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/crypto/hmac_sha256.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/midsummer.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/siphash.cc" "src/CMakeFiles/midsummer.dir/crypto/siphash.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/crypto/siphash.cc.o.d"
+  "/root/repo/src/mee/anubis.cc" "src/CMakeFiles/midsummer.dir/mee/anubis.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/mee/anubis.cc.o.d"
+  "/root/repo/src/mee/baselines.cc" "src/CMakeFiles/midsummer.dir/mee/baselines.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/mee/baselines.cc.o.d"
+  "/root/repo/src/mee/bmf.cc" "src/CMakeFiles/midsummer.dir/mee/bmf.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/mee/bmf.cc.o.d"
+  "/root/repo/src/mee/engine.cc" "src/CMakeFiles/midsummer.dir/mee/engine.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/mee/engine.cc.o.d"
+  "/root/repo/src/mee/factory.cc" "src/CMakeFiles/midsummer.dir/mee/factory.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/mee/factory.cc.o.d"
+  "/root/repo/src/mem/memory_map.cc" "src/CMakeFiles/midsummer.dir/mem/memory_map.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/mem/memory_map.cc.o.d"
+  "/root/repo/src/mem/nvm_device.cc" "src/CMakeFiles/midsummer.dir/mem/nvm_device.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/mem/nvm_device.cc.o.d"
+  "/root/repo/src/os/amntpp_allocator.cc" "src/CMakeFiles/midsummer.dir/os/amntpp_allocator.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/os/amntpp_allocator.cc.o.d"
+  "/root/repo/src/os/buddy_allocator.cc" "src/CMakeFiles/midsummer.dir/os/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/os/buddy_allocator.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/CMakeFiles/midsummer.dir/os/page_table.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/os/page_table.cc.o.d"
+  "/root/repo/src/sim/presets.cc" "src/CMakeFiles/midsummer.dir/sim/presets.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/sim/presets.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/midsummer.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/midsummer.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/CMakeFiles/midsummer.dir/sim/workload.cc.o" "gcc" "src/CMakeFiles/midsummer.dir/sim/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for midsummer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bmt/test_counters.cc" "tests/CMakeFiles/test_bmt.dir/bmt/test_counters.cc.o" "gcc" "tests/CMakeFiles/test_bmt.dir/bmt/test_counters.cc.o.d"
+  "/root/repo/tests/bmt/test_geometry.cc" "tests/CMakeFiles/test_bmt.dir/bmt/test_geometry.cc.o" "gcc" "tests/CMakeFiles/test_bmt.dir/bmt/test_geometry.cc.o.d"
+  "/root/repo/tests/bmt/test_tree.cc" "tests/CMakeFiles/test_bmt.dir/bmt/test_tree.cc.o" "gcc" "tests/CMakeFiles/test_bmt.dir/bmt/test_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/midsummer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

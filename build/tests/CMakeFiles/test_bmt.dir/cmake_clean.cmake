@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmt.dir/bmt/test_counters.cc.o"
+  "CMakeFiles/test_bmt.dir/bmt/test_counters.cc.o.d"
+  "CMakeFiles/test_bmt.dir/bmt/test_geometry.cc.o"
+  "CMakeFiles/test_bmt.dir/bmt/test_geometry.cc.o.d"
+  "CMakeFiles/test_bmt.dir/bmt/test_tree.cc.o"
+  "CMakeFiles/test_bmt.dir/bmt/test_tree.cc.o.d"
+  "test_bmt"
+  "test_bmt.pdb"
+  "test_bmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bmt.
+# This may be replaced when dependencies are built.

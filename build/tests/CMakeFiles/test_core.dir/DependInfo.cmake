@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_amnt.cc" "tests/CMakeFiles/test_core.dir/core/test_amnt.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_amnt.cc.o.d"
+  "/root/repo/tests/core/test_amnt_levels.cc" "tests/CMakeFiles/test_core.dir/core/test_amnt_levels.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_amnt_levels.cc.o.d"
+  "/root/repo/tests/core/test_history_buffer.cc" "tests/CMakeFiles/test_core.dir/core/test_history_buffer.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_history_buffer.cc.o.d"
+  "/root/repo/tests/core/test_hw_overhead.cc" "tests/CMakeFiles/test_core.dir/core/test_hw_overhead.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hw_overhead.cc.o.d"
+  "/root/repo/tests/core/test_hybrid.cc" "tests/CMakeFiles/test_core.dir/core/test_hybrid.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hybrid.cc.o.d"
+  "/root/repo/tests/core/test_recovery_planner.cc" "tests/CMakeFiles/test_core.dir/core/test_recovery_planner.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_recovery_planner.cc.o.d"
+  "/root/repo/tests/core/test_subtree.cc" "tests/CMakeFiles/test_core.dir/core/test_subtree.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_subtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/midsummer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_amnt.cc.o"
+  "CMakeFiles/test_core.dir/core/test_amnt.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_amnt_levels.cc.o"
+  "CMakeFiles/test_core.dir/core/test_amnt_levels.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_history_buffer.cc.o"
+  "CMakeFiles/test_core.dir/core/test_history_buffer.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hw_overhead.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hw_overhead.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hybrid.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hybrid.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_recovery_planner.cc.o"
+  "CMakeFiles/test_core.dir/core/test_recovery_planner.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_subtree.cc.o"
+  "CMakeFiles/test_core.dir/core/test_subtree.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

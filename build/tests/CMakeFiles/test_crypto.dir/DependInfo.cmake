@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_aes128.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o.d"
+  "/root/repo/tests/crypto/test_engines.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_engines.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_engines.cc.o.d"
+  "/root/repo/tests/crypto/test_hmac.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_hmac.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_hmac.cc.o.d"
+  "/root/repo/tests/crypto/test_sha256.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha256.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha256.cc.o.d"
+  "/root/repo/tests/crypto/test_siphash.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_siphash.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_siphash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/midsummer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

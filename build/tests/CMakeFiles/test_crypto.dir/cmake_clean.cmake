@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_engines.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_engines.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha256.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha256.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_siphash.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_siphash.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mee/test_anubis.cc" "tests/CMakeFiles/test_mee.dir/mee/test_anubis.cc.o" "gcc" "tests/CMakeFiles/test_mee.dir/mee/test_anubis.cc.o.d"
+  "/root/repo/tests/mee/test_bmf.cc" "tests/CMakeFiles/test_mee.dir/mee/test_bmf.cc.o" "gcc" "tests/CMakeFiles/test_mee.dir/mee/test_bmf.cc.o.d"
+  "/root/repo/tests/mee/test_engine_basic.cc" "tests/CMakeFiles/test_mee.dir/mee/test_engine_basic.cc.o" "gcc" "tests/CMakeFiles/test_mee.dir/mee/test_engine_basic.cc.o.d"
+  "/root/repo/tests/mee/test_engine_latency.cc" "tests/CMakeFiles/test_mee.dir/mee/test_engine_latency.cc.o" "gcc" "tests/CMakeFiles/test_mee.dir/mee/test_engine_latency.cc.o.d"
+  "/root/repo/tests/mee/test_factory.cc" "tests/CMakeFiles/test_mee.dir/mee/test_factory.cc.o" "gcc" "tests/CMakeFiles/test_mee.dir/mee/test_factory.cc.o.d"
+  "/root/repo/tests/mee/test_osiris.cc" "tests/CMakeFiles/test_mee.dir/mee/test_osiris.cc.o" "gcc" "tests/CMakeFiles/test_mee.dir/mee/test_osiris.cc.o.d"
+  "/root/repo/tests/mee/test_strict_leaf.cc" "tests/CMakeFiles/test_mee.dir/mee/test_strict_leaf.cc.o" "gcc" "tests/CMakeFiles/test_mee.dir/mee/test_strict_leaf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/midsummer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

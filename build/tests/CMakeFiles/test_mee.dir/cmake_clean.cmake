@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mee.dir/mee/test_anubis.cc.o"
+  "CMakeFiles/test_mee.dir/mee/test_anubis.cc.o.d"
+  "CMakeFiles/test_mee.dir/mee/test_bmf.cc.o"
+  "CMakeFiles/test_mee.dir/mee/test_bmf.cc.o.d"
+  "CMakeFiles/test_mee.dir/mee/test_engine_basic.cc.o"
+  "CMakeFiles/test_mee.dir/mee/test_engine_basic.cc.o.d"
+  "CMakeFiles/test_mee.dir/mee/test_engine_latency.cc.o"
+  "CMakeFiles/test_mee.dir/mee/test_engine_latency.cc.o.d"
+  "CMakeFiles/test_mee.dir/mee/test_factory.cc.o"
+  "CMakeFiles/test_mee.dir/mee/test_factory.cc.o.d"
+  "CMakeFiles/test_mee.dir/mee/test_osiris.cc.o"
+  "CMakeFiles/test_mee.dir/mee/test_osiris.cc.o.d"
+  "CMakeFiles/test_mee.dir/mee/test_strict_leaf.cc.o"
+  "CMakeFiles/test_mee.dir/mee/test_strict_leaf.cc.o.d"
+  "test_mee"
+  "test_mee.pdb"
+  "test_mee[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/test_allocator_storm.cc" "tests/CMakeFiles/test_property.dir/property/test_allocator_storm.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_allocator_storm.cc.o.d"
+  "/root/repo/tests/property/test_crash_recovery.cc" "tests/CMakeFiles/test_property.dir/property/test_crash_recovery.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_crash_recovery.cc.o.d"
+  "/root/repo/tests/property/test_plane_equivalence.cc" "tests/CMakeFiles/test_property.dir/property/test_plane_equivalence.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_plane_equivalence.cc.o.d"
+  "/root/repo/tests/property/test_protocol_differential.cc" "tests/CMakeFiles/test_property.dir/property/test_protocol_differential.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_protocol_differential.cc.o.d"
+  "/root/repo/tests/property/test_tamper.cc" "tests/CMakeFiles/test_property.dir/property/test_tamper.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property/test_tamper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/midsummer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

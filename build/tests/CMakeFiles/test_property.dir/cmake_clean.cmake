@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_allocator_storm.cc.o"
+  "CMakeFiles/test_property.dir/property/test_allocator_storm.cc.o.d"
+  "CMakeFiles/test_property.dir/property/test_crash_recovery.cc.o"
+  "CMakeFiles/test_property.dir/property/test_crash_recovery.cc.o.d"
+  "CMakeFiles/test_property.dir/property/test_plane_equivalence.cc.o"
+  "CMakeFiles/test_property.dir/property/test_plane_equivalence.cc.o.d"
+  "CMakeFiles/test_property.dir/property/test_protocol_differential.cc.o"
+  "CMakeFiles/test_property.dir/property/test_protocol_differential.cc.o.d"
+  "CMakeFiles/test_property.dir/property/test_tamper.cc.o"
+  "CMakeFiles/test_property.dir/property/test_tamper.cc.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

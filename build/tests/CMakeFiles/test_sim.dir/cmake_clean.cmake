@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_presets.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_presets.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_system.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_workload.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_workload.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
