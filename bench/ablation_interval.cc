@@ -15,39 +15,59 @@ using namespace amnt;
 using namespace amnt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint64_t instr = benchInstructions() / 2;
     const std::uint64_t warmup = benchWarmup() / 2;
+    JsonSink json(argc, argv, "ablation_interval");
 
     const std::vector<sim::WorkloadConfig> procs = {
         scaledMp(sim::parsecPreset("bodytrack")),
         scaledMp(sim::parsecPreset("fluidanimate"))};
 
-    const sim::RunResult base =
-        runConfig(paperSystem(mee::Protocol::Volatile, 2), procs,
-                  instr, warmup);
-    const double base_cycles = static_cast<double>(base.cycles);
+    const std::vector<unsigned> intervals = {8,  16,  32,  64,
+                                             128, 256, 1024};
+    const std::vector<unsigned> capacities = {4, 8, 16, 32, 64, 128};
+
+    std::vector<sweep::Job> jobs;
+    jobs.push_back(makeJob(paperSystem(mee::Protocol::Volatile, 2),
+                           procs, instr, warmup));
+    for (unsigned interval : intervals) {
+        sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
+        cfg.mee.amntSubtreeLevel = 5; // movement-prone coverage
+        cfg.mee.amntInterval = interval;
+        jobs.push_back(makeJob(cfg, procs, instr, warmup));
+    }
+    for (unsigned entries : capacities) {
+        sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
+        cfg.mee.amntSubtreeLevel = 5; // movement-prone coverage
+        cfg.mee.amntHistoryEntries = entries;
+        jobs.push_back(makeJob(cfg, procs, instr, warmup));
+    }
+    const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
+    const double base_cycles =
+        static_cast<double>(outcomes[0].result.cycles);
+    json.result("volatile baseline", jobs[0], outcomes[0], 1.0);
 
     std::printf("Ablation A: movement interval (history entries "
                 "fixed at 64)\n\n");
     TextTable ta;
     ta.header({"interval", "normalized cycles", "subtree hit",
                "moves/1k writes"});
-    for (unsigned interval : {8u, 16u, 32u, 64u, 128u, 256u, 1024u}) {
-        sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
-        cfg.mee.amntSubtreeLevel = 5; // movement-prone coverage
-        cfg.mee.amntInterval = interval;
-        const sim::RunResult r = runConfig(cfg, procs, instr, warmup);
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        const std::size_t idx = 1 + i;
+        const sim::RunResult &r = outcomes[idx].result;
+        const double norm =
+            static_cast<double>(r.cycles) / base_cycles;
+        json.result("interval " + std::to_string(intervals[i]),
+                    jobs[idx], outcomes[idx], norm);
         const double mpk =
             r.memWrites == 0
                 ? 0.0
                 : 1000.0 * static_cast<double>(r.subtreeMovements) /
                       static_cast<double>(r.memWrites);
-        ta.row({std::to_string(interval),
-                TextTable::num(static_cast<double>(r.cycles) /
-                                   base_cycles,
-                               3),
+        ta.row({std::to_string(intervals[i]),
+                TextTable::num(norm, 3),
                 TextTable::pct(r.subtreeHitRate, 1),
                 TextTable::num(mpk, 2)});
     }
@@ -58,17 +78,18 @@ main()
     TextTable tb;
     tb.header({"entries", "normalized cycles", "subtree hit",
                "buffer bits"});
-    for (unsigned entries : {4u, 8u, 16u, 32u, 64u, 128u}) {
-        sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
-        cfg.mee.amntSubtreeLevel = 5; // movement-prone coverage
-        cfg.mee.amntHistoryEntries = entries;
-        const sim::RunResult r = runConfig(cfg, procs, instr, warmup);
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+        const std::size_t idx = 1 + intervals.size() + i;
+        const sim::RunResult &r = outcomes[idx].result;
+        const double norm =
+            static_cast<double>(r.cycles) / base_cycles;
+        json.result("entries " + std::to_string(capacities[i]),
+                    jobs[idx], outcomes[idx], norm);
         const unsigned bits =
-            entries * 2 * static_cast<unsigned>(ceilLog2(entries));
-        tb.row({std::to_string(entries),
-                TextTable::num(static_cast<double>(r.cycles) /
-                                   base_cycles,
-                               3),
+            capacities[i] * 2 *
+            static_cast<unsigned>(ceilLog2(capacities[i]));
+        tb.row({std::to_string(capacities[i]),
+                TextTable::num(norm, 3),
                 TextTable::pct(r.subtreeHitRate, 1),
                 std::to_string(bits)});
     }

@@ -15,28 +15,48 @@ using namespace amnt;
 using namespace amnt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint64_t instr = benchInstructions() / 2;
     const std::uint64_t warmup = benchWarmup() / 2;
+    JsonSink json(argc, argv, "ablation_mcache");
     const sim::WorkloadConfig w = scaled(sim::parsecPreset("canneal"));
 
-    TextTable table;
-    table.header({"mcache", "mcache hit rate", "anubis", "amnt",
-                  "anubis vol. area", "amnt vol. area"});
-
-    for (std::uint64_t kb : {16ull, 32ull, 64ull, 128ull, 256ull}) {
+    const std::vector<std::uint64_t> sizes = {16, 32, 64, 128, 256};
+    std::vector<sweep::Job> jobs;
+    for (std::uint64_t kb : sizes) {
         auto mk = [&](mee::Protocol p) {
             sim::SystemConfig cfg = paperSystem(p, 1);
             cfg.mee.metaCache.sizeBytes = kb * 1024;
             return cfg;
         };
-        const sim::RunResult base =
-            runConfig(mk(mee::Protocol::Volatile), {w}, instr, warmup);
-        const sim::RunResult anubis =
-            runConfig(mk(mee::Protocol::Anubis), {w}, instr, warmup);
-        const sim::RunResult amnt =
-            runConfig(mk(mee::Protocol::Amnt), {w}, instr, warmup);
+        jobs.push_back(
+            makeJob(mk(mee::Protocol::Volatile), {w}, instr, warmup));
+        jobs.push_back(
+            makeJob(mk(mee::Protocol::Anubis), {w}, instr, warmup));
+        jobs.push_back(
+            makeJob(mk(mee::Protocol::Amnt), {w}, instr, warmup));
+    }
+    const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
+
+    TextTable table;
+    table.header({"mcache", "mcache hit rate", "anubis", "amnt",
+                  "anubis vol. area", "amnt vol. area"});
+
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        const std::uint64_t kb = sizes[i];
+        const std::size_t idx = i * 3;
+        const sim::RunResult &base = outcomes[idx].result;
+        const sim::RunResult &anubis = outcomes[idx + 1].result;
+        const sim::RunResult &amnt = outcomes[idx + 2].result;
+        const std::string label = std::to_string(kb) + " kB";
+        json.result(label, jobs[idx], outcomes[idx], 1.0);
+        json.result(label, jobs[idx + 1], outcomes[idx + 1],
+                    static_cast<double>(anubis.cycles) /
+                        static_cast<double>(base.cycles));
+        json.result(label, jobs[idx + 2], outcomes[idx + 2],
+                    static_cast<double>(amnt.cycles) /
+                        static_cast<double>(base.cycles));
 
         mee::MeeConfig area_cfg;
         area_cfg.metaCache.sizeBytes = kb * 1024;
@@ -46,7 +66,7 @@ main()
             core::hwOverheadOf(mee::Protocol::Amnt, area_cfg);
 
         table.row(
-            {std::to_string(kb) + " kB",
+            {label,
              TextTable::pct(base.mcacheHitRate, 1),
              TextTable::num(static_cast<double>(anubis.cycles) /
                                 static_cast<double>(base.cycles),

@@ -16,50 +16,64 @@ using namespace amnt;
 using namespace amnt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint64_t instr = benchInstructions() / 2;
     const std::uint64_t warmup = benchWarmup() / 2;
     constexpr std::uint64_t kTwoTb = 2ull << 40;
+    JsonSink json(argc, argv, "ablation_tradeoff");
 
     const std::vector<sim::WorkloadConfig> procs = {
         scaledMp(sim::parsecPreset("bodytrack")),
         scaledMp(sim::parsecPreset("fluidanimate"))};
 
-    const sim::RunResult base =
-        runConfig(paperSystem(mee::Protocol::Volatile, 2), procs,
-                  instr, warmup);
-    const double base_cycles = static_cast<double>(base.cycles);
+    // Jobs: volatile baseline, leaf, AMNT L2..L5, strict.
+    constexpr unsigned kLoLevel = 2, kHiLevel = 5;
+    std::vector<sweep::Job> jobs;
+    jobs.push_back(makeJob(paperSystem(mee::Protocol::Volatile, 2),
+                           procs, instr, warmup));
+    jobs.push_back(makeJob(paperSystem(mee::Protocol::Leaf, 2), procs,
+                           instr, warmup));
+    for (unsigned level = kLoLevel; level <= kHiLevel; ++level) {
+        sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
+        cfg.mee.amntSubtreeLevel = level;
+        jobs.push_back(makeJob(cfg, procs, instr, warmup));
+    }
+    jobs.push_back(makeJob(paperSystem(mee::Protocol::Strict, 2),
+                           procs, instr, warmup));
+    const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
+
+    const double base_cycles =
+        static_cast<double>(outcomes[0].result.cycles);
     core::RecoveryModel model;
+    auto norm_of = [&](std::size_t idx) {
+        return static_cast<double>(outcomes[idx].result.cycles) /
+               base_cycles;
+    };
+    json.result("volatile baseline", jobs[0], outcomes[0], 1.0);
 
     TextTable table;
     table.header({"configuration", "runtime (norm.)",
                   "recovery @ 2TB (ms)", "stale BMT"});
 
-    auto run_proto = [&](mee::Protocol p) {
-        return static_cast<double>(
-                   runConfig(paperSystem(p, 2), procs, instr, warmup)
-                       .cycles) /
-               base_cycles;
-    };
-
-    table.row({"leaf", TextTable::num(run_proto(mee::Protocol::Leaf), 3),
+    json.result("leaf", jobs[1], outcomes[1], norm_of(1));
+    table.row({"leaf", TextTable::num(norm_of(1), 3),
                TextTable::num(model.leafMs(kTwoTb), 2), "100%"});
-    for (unsigned level = 2; level <= 5; ++level) {
-        sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
-        cfg.mee.amntSubtreeLevel = level;
-        const double norm =
-            static_cast<double>(
-                runConfig(cfg, procs, instr, warmup).cycles) /
-            base_cycles;
+    for (unsigned level = kLoLevel; level <= kHiLevel; ++level) {
+        const std::size_t idx = 2 + (level - kLoLevel);
+        json.result("amnt L" + std::to_string(level), jobs[idx],
+                    outcomes[idx], norm_of(idx));
         table.row(
-            {"amnt L" + std::to_string(level), TextTable::num(norm, 3),
+            {"amnt L" + std::to_string(level),
+             TextTable::num(norm_of(idx), 3),
              TextTable::num(model.amntMs(kTwoTb, level), 2),
              TextTable::pct(
                  core::RecoveryModel::amntStaleFraction(level), 2)});
     }
-    table.row({"strict",
-               TextTable::num(run_proto(mee::Protocol::Strict), 3),
+    const std::size_t strict_idx = jobs.size() - 1;
+    json.result("strict", jobs[strict_idx], outcomes[strict_idx],
+                norm_of(strict_idx));
+    table.row({"strict", TextTable::num(norm_of(strict_idx), 3),
                TextTable::num(model.strictMs(kTwoTb), 2), "0%"});
 
     std::printf("Ablation: runtime vs recovery trade-off "

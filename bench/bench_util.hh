@@ -10,10 +10,22 @@
  * *shape* (who wins, by roughly what factor, where crossovers fall)
  * is the reproduction target; see EXPERIMENTS.md.
  *
+ * Harnesses enqueue their whole configuration matrix as sweep::Jobs
+ * and execute it once through sweepConfigs(), which fans the
+ * independent simulations out over a work-stealing thread pool
+ * (AMNT_SWEEP_THREADS workers) and returns outcomes in submission
+ * order — tables are formatted from the outcome vector afterwards, so
+ * stdout is byte-identical at any thread count.
+ *
  * Environment knobs:
- *   AMNT_BENCH_INSTR   instructions per core measured  (default 2M)
- *   AMNT_BENCH_WARMUP  warm-up instructions per core   (default 1M)
- *   AMNT_BENCH_SCALE   divisor applied to preset footprints (def. 4)
+ *   AMNT_BENCH_INSTR    instructions per core measured  (default 2M)
+ *   AMNT_BENCH_WARMUP   warm-up instructions per core   (default 1M)
+ *   AMNT_BENCH_SCALE    divisor applied to preset footprints (def. 4)
+ *   AMNT_SWEEP_THREADS  sweep worker count (default: hardware threads)
+ *   AMNT_BENCH_JSON     write per-row machine-readable results here
+ *
+ * Every harness also accepts `--json <path>` (overrides the
+ * environment variable).
  */
 
 #ifndef AMNT_BENCH_BENCH_UTIL_HH
@@ -24,19 +36,14 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/table.hh"
 #include "sim/presets.hh"
+#include "sim/sweep.hh"
 #include "sim/system.hh"
 
 namespace amnt::bench
 {
-
-inline std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
-}
 
 inline std::uint64_t
 benchInstructions()
@@ -90,16 +97,31 @@ figureProtocols()
     return p;
 }
 
-/** One measured configuration. */
-struct Measured
+/**
+ * Execute the whole configuration matrix on the sweep pool and return
+ * the outcomes in submission order (deterministic: each job owns its
+ * full simulator, so outcome i is bit-identical to running job i
+ * alone).
+ */
+inline std::vector<sweep::Outcome>
+sweepConfigs(const std::vector<sweep::Job> &jobs)
 {
-    sim::RunResult result;
-    double normalizedCycles = 0.0; ///< vs the volatile baseline
-};
+    return sweep::run(jobs);
+}
+
+/** Convenience builder for the common one-config job. */
+inline sweep::Job
+makeJob(sim::SystemConfig cfg,
+        std::vector<sim::WorkloadConfig> procs, std::uint64_t instr,
+        std::uint64_t warmup)
+{
+    return sweep::Job{std::move(cfg), std::move(procs), instr, warmup};
+}
 
 /**
- * Run one protocol (optionally with the AMNT++ OS) on one or two
- * workloads under @p base system config and return the result.
+ * Run one configuration serially, in place. Kept for callers outside
+ * the harnesses (tests, examples); the harnesses themselves batch
+ * through sweepConfigs().
  */
 inline sim::RunResult
 runConfig(sim::SystemConfig cfg,
@@ -123,6 +145,166 @@ paperSystem(mee::Protocol p, unsigned cores)
     cfg.mee.dataBytes = 8ull << 30;
     return cfg;
 }
+
+// ------------------------------------------------------------- JSON sink
+
+/** One JSON object, built field by field (insertion order kept). */
+class JsonRow
+{
+  public:
+    JsonRow &
+    field(const char *key, const std::string &value)
+    {
+        sep();
+        body_ += '"';
+        body_ += key;
+        body_ += "\": \"";
+        for (char c : value) {
+            if (c == '"' || c == '\\')
+                body_ += '\\';
+            body_ += c;
+        }
+        body_ += '"';
+        return *this;
+    }
+
+    JsonRow &
+    field(const char *key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        return raw(key, buf);
+    }
+
+    JsonRow &
+    field(const char *key, std::uint64_t value)
+    {
+        return raw(key, std::to_string(value));
+    }
+
+    JsonRow &
+    field(const char *key, bool value)
+    {
+        return raw(key, value ? "true" : "false");
+    }
+
+    std::string str() const { return "{" + body_ + "}"; }
+
+  private:
+    JsonRow &
+    raw(const char *key, const std::string &text)
+    {
+        sep();
+        body_ += '"';
+        body_ += key;
+        body_ += "\": ";
+        body_ += text;
+        return *this;
+    }
+
+    void
+    sep()
+    {
+        if (!body_.empty())
+            body_ += ", ";
+    }
+
+    std::string body_;
+};
+
+/**
+ * Machine-readable results file, enabled by `--json <path>` or
+ * AMNT_BENCH_JSON. Rows accumulate in memory and flush as one JSON
+ * document ({"bench": ..., "rows": [...]}) at destruction; when
+ * disabled every call is a no-op.
+ */
+class JsonSink
+{
+  public:
+    JsonSink(int argc, char **argv, std::string bench)
+        : bench_(std::move(bench))
+    {
+        if (const char *env = std::getenv("AMNT_BENCH_JSON"))
+            path_ = env;
+        for (int i = 1; i + 1 < argc; ++i) {
+            if (std::string(argv[i]) == "--json")
+                path_ = argv[i + 1];
+        }
+    }
+
+    JsonSink(const JsonSink &) = delete;
+    JsonSink &operator=(const JsonSink &) = delete;
+
+    ~JsonSink()
+    {
+        if (path_.empty())
+            return;
+        std::FILE *f = std::fopen(path_.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "bench: cannot write JSON to %s\n",
+                         path_.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [",
+                     bench_.c_str());
+        for (std::size_t i = 0; i < rows_.size(); ++i)
+            std::fprintf(f, "%s\n  %s", i == 0 ? "" : ",",
+                         rows_[i].c_str());
+        std::fprintf(f, "\n]}\n");
+        std::fclose(f);
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Append an arbitrary row. */
+    void
+    add(const JsonRow &row)
+    {
+        if (enabled())
+            rows_.push_back(row.str());
+    }
+
+    /**
+     * Append the standard row for one swept configuration: the
+     * config, the simulated result, and the host-side measurement
+     * (wall seconds and simulated instructions per second).
+     */
+    void
+    result(const std::string &label, const sweep::Job &job,
+           const sweep::Outcome &o, double normalized_cycles = 0.0)
+    {
+        if (!enabled())
+            return;
+        const double instr_total = static_cast<double>(
+            o.result.appInstructions + o.result.osInstructions);
+        JsonRow row;
+        row.field("label", label)
+            .field("protocol",
+                   std::string(
+                       mee::protocolName(job.config.protocol)))
+            .field("cores", std::uint64_t(job.config.cores))
+            .field("amntpp", job.config.amntpp)
+            .field("subtree_level",
+                   std::uint64_t(job.config.mee.amntSubtreeLevel))
+            .field("instructions", job.instructions)
+            .field("warmup", job.warmup)
+            .field("cycles", o.result.cycles)
+            .field("normalized_cycles", normalized_cycles)
+            .field("mcache_hit_rate", o.result.mcacheHitRate)
+            .field("subtree_hit_rate", o.result.subtreeHitRate)
+            .field("subtree_movements", o.result.subtreeMovements)
+            .field("wall_seconds", o.wallSeconds)
+            .field("sim_instr_per_sec",
+                   o.wallSeconds > 0.0 ? instr_total / o.wallSeconds
+                                       : 0.0);
+        rows_.push_back(row.str());
+    }
+
+  private:
+    std::string bench_;
+    std::string path_;
+    std::vector<std::string> rows_;
+};
 
 } // namespace amnt::bench
 

@@ -13,6 +13,7 @@
 #include <map>
 
 #include "bench_util.hh"
+#include "mem/memory_map.hh"
 
 using namespace amnt;
 using namespace amnt::bench;
@@ -21,16 +22,15 @@ namespace
 {
 
 void
-report(const char *title, sim::System &sys)
+report(const char *title, const sweep::Outcome &outcome,
+       std::uint64_t frames_per_region)
 {
-    const std::uint64_t frames_per_region =
-        sys.engine().map().geometry().countersPerNode(3);
     constexpr std::uint64_t kBinPages = 4096; // 16 MB bins
 
     std::map<std::uint64_t, std::uint64_t> bins;
     std::map<std::uint64_t, std::uint64_t> regions;
     std::uint64_t total = 0;
-    for (const auto &kv : sys.accessHistogram()) {
+    for (const auto &kv : outcome.accessHistogram) {
         bins[kv.first / kBinPages] += kv.second;
         regions[kv.first / frames_per_region] += kv.second;
         total += kv.second;
@@ -65,34 +65,47 @@ report(const char *title, sim::System &sys)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint64_t instr = benchInstructions();
     const std::uint64_t warmup = benchWarmup() / 2;
+    JsonSink json(argc, argv, "fig03_access_histogram");
 
+    std::vector<sweep::Job> jobs;
     {
         sim::SystemConfig cfg =
             paperSystem(mee::Protocol::Volatile, 1);
         cfg.recordAccessHistogram = true;
-        sim::System sys(cfg);
-        sys.addProcess(scaled(sim::specPreset("lbm")));
-        sys.run(instr, warmup);
-        report("Figure 3a: single program (lbm), accesses per "
-               "physical address",
-               sys);
+        jobs.push_back(makeJob(cfg, {scaled(sim::specPreset("lbm"))},
+                               instr, warmup));
     }
     {
         sim::SystemConfig cfg =
             paperSystem(mee::Protocol::Volatile, 2);
         cfg.recordAccessHistogram = true;
-        sim::System sys(cfg);
-        sys.addProcess(scaled(sim::specPreset("perlbench")));
-        sys.addProcess(scaled(sim::specPreset("lbm")));
-        sys.run(instr, warmup);
-        report("Figure 3b: multiprogram (perlbench + lbm), accesses "
-               "per physical address",
-               sys);
+        jobs.push_back(makeJob(cfg,
+                               {scaled(sim::specPreset("perlbench")),
+                                scaled(sim::specPreset("lbm"))},
+                               instr, warmup));
     }
+    const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
+
+    // Both jobs share the 8 GB map, so the level-3 region width is a
+    // property of the geometry alone.
+    const std::uint64_t frames_per_region =
+        mem::MemoryMap(jobs[0].config.mee.dataBytes)
+            .geometry()
+            .countersPerNode(3);
+
+    report("Figure 3a: single program (lbm), accesses per "
+           "physical address",
+           outcomes[0], frames_per_region);
+    report("Figure 3b: multiprogram (perlbench + lbm), accesses "
+           "per physical address",
+           outcomes[1], frames_per_region);
+    json.result("3a lbm", jobs[0], outcomes[0]);
+    json.result("3b perlbench+lbm", jobs[1], outcomes[1]);
+
     std::printf("paper shape: 3a concentrates accesses in a tight "
                 "physical band; 3b interleaves two programs across "
                 "the space\n");

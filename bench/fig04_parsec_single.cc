@@ -17,10 +17,29 @@ using namespace amnt;
 using namespace amnt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint64_t instr = benchInstructions();
     const std::uint64_t warmup = benchWarmup();
+    JsonSink json(argc, argv, "fig04_parsec_single");
+
+    // Matrix: per benchmark, the volatile baseline, the five figure
+    // protocols, then amnt++ — 7 jobs per row, all independent.
+    const std::vector<std::string> benchmarks = sim::parsecBenchmarks();
+    std::vector<sweep::Job> jobs;
+    for (const std::string &name : benchmarks) {
+        const sim::WorkloadConfig w = scaled(sim::parsecPreset(name));
+        jobs.push_back(makeJob(paperSystem(mee::Protocol::Volatile, 1),
+                               {w}, instr, warmup));
+        for (mee::Protocol p : figureProtocols())
+            jobs.push_back(
+                makeJob(paperSystem(p, 1), {w}, instr, warmup));
+        sim::SystemConfig pp = paperSystem(mee::Protocol::Amnt, 1);
+        pp.amntpp = true;
+        jobs.push_back(makeJob(pp, {w}, instr, warmup));
+    }
+    const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
+    const std::size_t stride = 2 + figureProtocols().size();
 
     TextTable table;
     table.header({"benchmark", "leaf", "strict", "anubis", "bmf",
@@ -29,37 +48,31 @@ main()
     std::map<std::string, double> sums;
     std::size_t rows = 0;
 
-    for (const std::string &name : sim::parsecBenchmarks()) {
-        const sim::WorkloadConfig w = scaled(sim::parsecPreset(name));
-
-        const sim::RunResult base =
-            runConfig(paperSystem(mee::Protocol::Volatile, 1), {w},
-                      instr, warmup);
-        const double base_cycles = static_cast<double>(base.cycles);
+    for (const std::string &name : benchmarks) {
+        const std::size_t base_idx = rows * stride;
+        const double base_cycles = static_cast<double>(
+            outcomes[base_idx].result.cycles);
+        json.result(name, jobs[base_idx], outcomes[base_idx], 1.0);
 
         std::vector<std::string> row = {name};
-        auto add = [&](const char *key, const sim::RunResult &r) {
+        auto add = [&](const char *key, std::size_t idx) {
+            const sim::RunResult &r = outcomes[idx].result;
             const double norm =
                 static_cast<double>(r.cycles) / base_cycles;
             sums[key] += norm;
             row.push_back(TextTable::num(norm, 3));
-            return norm;
+            json.result(name, jobs[idx], outcomes[idx], norm);
         };
 
         sim::RunResult amnt_result;
+        std::size_t idx = base_idx + 1;
         for (mee::Protocol p : figureProtocols()) {
-            const sim::RunResult r =
-                runConfig(paperSystem(p, 1), {w}, instr, warmup);
-            add(protocolName(p), r);
+            add(protocolName(p), idx);
             if (p == mee::Protocol::Amnt)
-                amnt_result = r;
+                amnt_result = outcomes[idx].result;
+            ++idx;
         }
-        {
-            sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 1);
-            cfg.amntpp = true;
-            const sim::RunResult r = runConfig(cfg, {w}, instr, warmup);
-            add("amnt++", r);
-        }
+        add("amnt++", idx);
         row.push_back(TextTable::pct(amnt_result.subtreeHitRate, 1));
         const double moves_per_k =
             amnt_result.memWrites == 0

@@ -15,46 +15,67 @@ using namespace amnt;
 using namespace amnt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint64_t instr = benchInstructions();
     const std::uint64_t warmup = benchWarmup();
+    JsonSink json(argc, argv, "fig05_parsec_multi");
+
+    const auto pairs = sim::parsecMultiprogramPairs();
+    std::vector<sweep::Job> jobs;
+    for (const auto &[a, b] : pairs) {
+        const std::vector<sim::WorkloadConfig> procs = {
+            scaledMp(sim::parsecPreset(a)),
+            scaledMp(sim::parsecPreset(b))};
+        jobs.push_back(makeJob(paperSystem(mee::Protocol::Volatile, 2),
+                               procs, instr, warmup));
+        for (mee::Protocol p : figureProtocols())
+            jobs.push_back(
+                makeJob(paperSystem(p, 2), procs, instr, warmup));
+        sim::SystemConfig pp = paperSystem(mee::Protocol::Amnt, 2);
+        pp.amntpp = true;
+        jobs.push_back(makeJob(pp, procs, instr, warmup));
+    }
+    const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
+    const std::size_t stride = 2 + figureProtocols().size();
 
     TextTable table;
     table.header({"pair", "leaf", "strict", "anubis", "bmf", "amnt",
                   "amnt++", "hit(amnt)", "hit(amnt++)"});
 
-    for (const auto &[a, b] : sim::parsecMultiprogramPairs()) {
-        const std::vector<sim::WorkloadConfig> procs = {
-            scaledMp(sim::parsecPreset(a)), scaledMp(sim::parsecPreset(b))};
+    std::size_t pair_no = 0;
+    for (const auto &[a, b] : pairs) {
+        const std::string label = a + "+" + b;
+        const std::size_t base_idx = pair_no * stride;
+        const double base_cycles = static_cast<double>(
+            outcomes[base_idx].result.cycles);
+        json.result(label, jobs[base_idx], outcomes[base_idx], 1.0);
 
-        const sim::RunResult base = runConfig(
-            paperSystem(mee::Protocol::Volatile, 2), procs, instr,
-            warmup);
-        const double base_cycles = static_cast<double>(base.cycles);
-
-        std::vector<std::string> row = {a + "+" + b};
+        std::vector<std::string> row = {label};
         double hit_amnt = 0.0, hit_pp = 0.0;
+        std::size_t idx = base_idx + 1;
         for (mee::Protocol p : figureProtocols()) {
-            const sim::RunResult r = runConfig(paperSystem(p, 2),
-                                               procs, instr, warmup);
-            row.push_back(TextTable::num(
-                static_cast<double>(r.cycles) / base_cycles, 3));
+            const sim::RunResult &r = outcomes[idx].result;
+            const double norm =
+                static_cast<double>(r.cycles) / base_cycles;
+            row.push_back(TextTable::num(norm, 3));
+            json.result(label, jobs[idx], outcomes[idx], norm);
             if (p == mee::Protocol::Amnt)
                 hit_amnt = r.subtreeHitRate;
+            ++idx;
         }
         {
-            sim::SystemConfig cfg = paperSystem(mee::Protocol::Amnt, 2);
-            cfg.amntpp = true;
-            const sim::RunResult r =
-                runConfig(cfg, procs, instr, warmup);
-            row.push_back(TextTable::num(
-                static_cast<double>(r.cycles) / base_cycles, 3));
+            const sim::RunResult &r = outcomes[idx].result;
+            const double norm =
+                static_cast<double>(r.cycles) / base_cycles;
+            row.push_back(TextTable::num(norm, 3));
+            json.result(label, jobs[idx], outcomes[idx], norm);
             hit_pp = r.subtreeHitRate;
         }
         row.push_back(TextTable::pct(hit_amnt, 1));
         row.push_back(TextTable::pct(hit_pp, 1));
         table.row(row);
+        ++pair_no;
     }
 
     std::printf("Figure 5: normalized cycles, multiprogram PARSEC "

@@ -18,12 +18,31 @@ using namespace amnt;
 using namespace amnt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     // Four copies of the benchmark, one per core, as in rate-style
     // multithreaded evaluation (section 6.5).
     const std::uint64_t instr = benchInstructions() / 2;
     const std::uint64_t warmup = benchWarmup() / 2;
+    JsonSink json(argc, argv, "fig08_spec2017");
+
+    const std::vector<std::string> benchmarks = sim::specBenchmarks();
+    std::vector<sweep::Job> jobs;
+    for (const std::string &name : benchmarks) {
+        std::vector<sim::WorkloadConfig> procs;
+        for (int copy = 0; copy < 4; ++copy) {
+            sim::WorkloadConfig w = scaled(sim::specPreset(name));
+            w.seed += static_cast<std::uint64_t>(copy) * 977;
+            procs.push_back(w);
+        }
+        jobs.push_back(makeJob(paperSystem(mee::Protocol::Volatile, 4),
+                               procs, instr, warmup));
+        for (mee::Protocol p : figureProtocols())
+            jobs.push_back(
+                makeJob(paperSystem(p, 4), procs, instr, warmup));
+    }
+    const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
+    const std::size_t stride = 1 + figureProtocols().size();
 
     TextTable table;
     table.header({"benchmark", "leaf", "strict", "anubis", "bmf",
@@ -31,30 +50,25 @@ main()
     std::map<std::string, double> sums;
     std::size_t rows = 0;
 
-    for (const std::string &name : sim::specBenchmarks()) {
-        std::vector<sim::WorkloadConfig> procs;
-        for (int copy = 0; copy < 4; ++copy) {
-            sim::WorkloadConfig w = scaled(sim::specPreset(name));
-            w.seed += static_cast<std::uint64_t>(copy) * 977;
-            procs.push_back(w);
-        }
-
-        const sim::RunResult base = runConfig(
-            paperSystem(mee::Protocol::Volatile, 4), procs, instr,
-            warmup);
-        const double base_cycles = static_cast<double>(base.cycles);
+    for (const std::string &name : benchmarks) {
+        const std::size_t base_idx = rows * stride;
+        const double base_cycles = static_cast<double>(
+            outcomes[base_idx].result.cycles);
+        json.result(name, jobs[base_idx], outcomes[base_idx], 1.0);
 
         std::vector<std::string> row = {name};
         double amnt_hit = 0.0;
+        std::size_t idx = base_idx + 1;
         for (mee::Protocol p : figureProtocols()) {
-            const sim::RunResult r = runConfig(paperSystem(p, 4),
-                                               procs, instr, warmup);
+            const sim::RunResult &r = outcomes[idx].result;
             const double norm =
                 static_cast<double>(r.cycles) / base_cycles;
             sums[protocolName(p)] += norm;
             row.push_back(TextTable::num(norm, 3));
+            json.result(name, jobs[idx], outcomes[idx], norm);
             if (p == mee::Protocol::Amnt)
                 amnt_hit = r.subtreeHitRate;
+            ++idx;
         }
         row.push_back(TextTable::pct(amnt_hit, 1));
         table.row(row);

@@ -15,27 +15,35 @@ using namespace amnt;
 using namespace amnt::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint64_t instr = benchInstructions();
     const std::uint64_t warmup = benchWarmup();
+    JsonSink json(argc, argv, "table2_os_cost");
+
+    const auto pairs = sim::parsecMultiprogramPairs();
+    std::vector<sweep::Job> jobs;
+    for (const auto &[a, b] : pairs) {
+        const std::vector<sim::WorkloadConfig> procs = {
+            scaledMp(sim::parsecPreset(a)),
+            scaledMp(sim::parsecPreset(b))};
+        sim::SystemConfig plain = paperSystem(mee::Protocol::Amnt, 2);
+        jobs.push_back(makeJob(plain, procs, instr, warmup));
+        sim::SystemConfig pp = plain;
+        pp.amntpp = true;
+        jobs.push_back(makeJob(pp, procs, instr, warmup));
+    }
+    const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
 
     TextTable table;
     table.header({"pair", "normalized performance",
                   "instruction overhead"});
 
-    for (const auto &[a, b] : sim::parsecMultiprogramPairs()) {
-        const std::vector<sim::WorkloadConfig> procs = {
-            scaledMp(sim::parsecPreset(a)), scaledMp(sim::parsecPreset(b))};
-
-        sim::SystemConfig plain = paperSystem(mee::Protocol::Amnt, 2);
-        const sim::RunResult unmodified =
-            runConfig(plain, procs, instr, warmup);
-
-        sim::SystemConfig pp = plain;
-        pp.amntpp = true;
-        const sim::RunResult modified =
-            runConfig(pp, procs, instr, warmup);
+    std::size_t pair_no = 0;
+    for (const auto &[a, b] : pairs) {
+        const std::size_t idx = pair_no * 2;
+        const sim::RunResult &unmodified = outcomes[idx].result;
+        const sim::RunResult &modified = outcomes[idx + 1].result;
 
         const double perf = static_cast<double>(modified.cycles) /
                             static_cast<double>(unmodified.cycles);
@@ -44,8 +52,12 @@ main()
                                 modified.osInstructions) /
             static_cast<double>(unmodified.appInstructions +
                                 unmodified.osInstructions);
+        json.result(a + "+" + b, jobs[idx], outcomes[idx], 1.0);
+        json.result(a + "+" + b, jobs[idx + 1], outcomes[idx + 1],
+                    perf);
         table.row({a + " and " + b, TextTable::num(perf, 3),
                    TextTable::num(instr_ratio, 3)});
+        ++pair_no;
     }
 
     std::printf("Table 2: impact of the modified operating system "

@@ -29,8 +29,9 @@ bytes(std::uint64_t b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonSink json(argc, argv, "table3_hw_overhead");
     mee::MeeConfig cfg; // Table 1 defaults: 64 kB metadata cache
 
     TextTable table;
@@ -40,6 +41,12 @@ main()
         const core::HwOverhead hw = core::hwOverheadOf(p, cfg);
         table.row({protocolName(p), bytes(hw.nvOnChip),
                    bytes(hw.volatileOnChip), bytes(hw.inMemory)});
+        JsonRow jrow;
+        jrow.field("label", std::string(protocolName(p)))
+            .field("nv_on_chip_bytes", hw.nvOnChip)
+            .field("volatile_on_chip_bytes", hw.volatileOnChip)
+            .field("in_memory_bytes", hw.inMemory);
+        json.add(jrow);
     }
 
     std::printf("Table 3: hardware overheads for a %llu kB metadata "

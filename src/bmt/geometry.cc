@@ -18,6 +18,19 @@ Geometry::Geometry(std::uint64_t n_counter_blocks)
         ++nodeLevels_;
     }
     totalNodes_ = (paddedCounters_ - 1) / (kTreeArity - 1);
+    if (nodeLevels_ > kMaxLevels)
+        panic("BMT with %u levels exceeds the geometry table",
+              nodeLevels_);
+
+    // levelOffset_[l] = nodes on levels 1..l-1 = (8^(l-1) - 1) / 7,
+    // precomputed so linearId() is one add instead of an ipow loop.
+    levelOffset_[0] = 0;
+    levelOffset_[1] = 0;
+    std::uint64_t level_size = 1;
+    for (unsigned l = 2; l <= kMaxLevels + 1; ++l) {
+        levelOffset_[l] = levelOffset_[l - 1] + level_size;
+        level_size *= kTreeArity;
+    }
 }
 
 } // namespace amnt::bmt

@@ -13,6 +13,7 @@
 #ifndef AMNT_BMT_GEOMETRY_HH
 #define AMNT_BMT_GEOMETRY_HH
 
+#include <array>
 #include <cstdint>
 
 #include "common/bitops.hh"
@@ -20,6 +21,9 @@
 
 namespace amnt::bmt
 {
+
+/** log2 of the tree arity; all level math reduces to shifts by it. */
+inline constexpr unsigned kArityShift = floorLog2(kTreeArity);
 
 /** Identifies one BMT node by level (root = 1) and index within it. */
 struct NodeRef
@@ -56,7 +60,7 @@ class Geometry
     std::uint64_t
     nodesAt(unsigned level) const
     {
-        return ipow(kTreeArity, level - 1);
+        return 1ull << (kArityShift * (level - 1));
     }
 
     /** Total hash nodes over all levels. */
@@ -66,14 +70,14 @@ class Geometry
     std::uint64_t
     countersPerNode(unsigned level) const
     {
-        return paddedCounters_ / nodesAt(level);
+        return 1ull << coverShift(level);
     }
 
     /** Node at @p level on the ancestral path of counter @p counter. */
     NodeRef
     ancestorOf(std::uint64_t counter, unsigned level) const
     {
-        return {level, counter / countersPerNode(level)};
+        return {level, counter >> coverShift(level)};
     }
 
     /** The deepest node level's node covering counter @p counter. */
@@ -108,9 +112,7 @@ class Geometry
     std::uint64_t
     linearId(NodeRef node) const
     {
-        // Sum of sizes of levels 1..level-1 is (8^(level-1) - 1) / 7.
-        return (ipow(kTreeArity, node.level - 1) - 1) / (kTreeArity - 1) +
-               node.index;
+        return levelOffset_[node.level] + node.index;
     }
 
     /** Inverse of linearId(). */
@@ -140,10 +142,9 @@ class Geometry
     {
         if (node.level < root.level)
             return false;
-        std::uint64_t idx = node.index;
-        for (unsigned l = node.level; l > root.level; --l)
-            idx /= kTreeArity;
-        return idx == root.index;
+        return (node.index >>
+                (kArityShift * (node.level - root.level))) ==
+               root.index;
     }
 
     /**
@@ -153,13 +154,26 @@ class Geometry
     std::uint64_t
     regionOf(std::uint64_t counter, unsigned level) const
     {
-        return counter / countersPerNode(level);
+        return counter >> coverShift(level);
     }
 
   private:
+    /** Deepest possible tree: 8^21 counters exceeds a 2^63 B device. */
+    static constexpr unsigned kMaxLevels = 22;
+
+    /** log2 of countersPerNode(level). */
+    unsigned
+    coverShift(unsigned level) const
+    {
+        return kArityShift * (nodeLevels_ - (level - 1));
+    }
+
     std::uint64_t paddedCounters_;
     std::uint64_t totalNodes_;
     unsigned nodeLevels_;
+
+    /** levelOffset_[l]: linear id of the first node of level l. */
+    std::array<std::uint64_t, kMaxLevels + 2> levelOffset_{};
 };
 
 } // namespace amnt::bmt

@@ -27,7 +27,8 @@ isZeroBlock(const mem::Block &b)
 
 TreeState::TreeState(const mem::MemoryMap &map,
                      const crypto::HashEngine &hash)
-    : map_(&map), hash_(&hash)
+    : map_(&map), hash_(&hash), geo_(&map.geometry()),
+      counterBase_(map.counterBase()), treeBase_(map.treeBase())
 {
 }
 
@@ -41,7 +42,7 @@ TreeState::counter(std::uint64_t idx) const
 const mem::Block &
 TreeState::node(NodeRef ref) const
 {
-    auto it = nodes_.find(map_->geometry().linearId(ref));
+    auto it = nodes_.find(geo_->linearId(ref));
     return it == nodes_.end() ? kZeroBlock : it->second;
 }
 
@@ -51,7 +52,7 @@ TreeState::hashCounterBytes(std::uint64_t idx,
 {
     if (isZeroBlock(bytes))
         return 0;
-    const Addr tweak = map_->counterBase() + idx * kBlockSize;
+    const Addr tweak = counterBase_ + idx * kBlockSize;
     return hash_->mac64(bytes.data(), bytes.size(), tweak);
 }
 
@@ -60,29 +61,28 @@ TreeState::hashNodeBytes(NodeRef ref, const mem::Block &bytes) const
 {
     if (isZeroBlock(bytes))
         return 0;
-    return hash_->mac64(bytes.data(), bytes.size(), map_->nodeAddrOf(ref));
+    return hash_->mac64(bytes.data(), bytes.size(), nodeAddr(ref));
 }
 
-mem::Block
+const mem::Block &
 TreeState::counterBytes(std::uint64_t idx) const
 {
-    return counter(idx).serialize();
+    auto it = counterBytes_.find(idx);
+    return it == counterBytes_.end() ? kZeroBlock : it->second;
 }
 
 void
 TreeState::setEntry(NodeRef ref, unsigned slot, std::uint64_t value)
 {
-    auto [it, fresh] =
-        nodes_.try_emplace(map_->geometry().linearId(ref));
-    if (fresh)
-        it->second.fill(0);
+    // try_emplace value-initializes fresh blocks to all-zero.
+    auto it = nodes_.try_emplace(geo_->linearId(ref)).first;
     store64le(it->second.data() + slot * kHashBytes, value);
 }
 
 void
 TreeState::updatePath(std::uint64_t idx)
 {
-    const Geometry &geo = map_->geometry();
+    const Geometry &geo = *geo_;
     // Deepest node holds the counter hash.
     NodeRef ref = geo.leafNodeOf(idx);
     setEntry(ref, static_cast<unsigned>(idx % kTreeArity),
@@ -100,6 +100,7 @@ void
 TreeState::setCounter(std::uint64_t idx, const CounterBlock &value)
 {
     counters_[idx] = value;
+    counterBytes_[idx] = value.serialize();
     updatePath(idx);
 }
 
@@ -144,13 +145,14 @@ TreeState::forEachNode(
     const std::function<void(NodeRef, const mem::Block &)> &visitor) const
 {
     for (const auto &kv : nodes_)
-        visitor(map_->geometry().nodeOfLinearId(kv.first), kv.second);
+        visitor(geo_->nodeOfLinearId(kv.first), kv.second);
 }
 
 std::uint64_t
 TreeState::rebuildFromNvm(const mem::NvmDevice &nvm)
 {
     counters_.clear();
+    counterBytes_.clear();
     nodes_.clear();
     const Addr lo = map_->counterBase();
     const Addr hi = map_->hmacBase();
@@ -158,6 +160,12 @@ TreeState::rebuildFromNvm(const mem::NvmDevice &nvm)
         const std::uint64_t idx = (addr - lo) / kBlockSize;
         counters_[idx] = CounterBlock::deserialize(b);
     });
+    // Re-serialize rather than caching the raw persisted bytes: the
+    // hash chain must be computed over the canonical encoding, exactly
+    // as the pre-crash updatePath did (tampered non-canonical bytes
+    // must not leak into the rebuilt tree).
+    for (const auto &kv : counters_)
+        counterBytes_[kv.first] = kv.second.serialize();
     for (const auto &kv : counters_)
         updatePath(kv.first);
     return rootHash();

@@ -17,10 +17,10 @@
 #define AMNT_BMT_TREE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "bmt/counters.hh"
 #include "bmt/geometry.hh"
+#include "common/flat_map.hh"
 #include "crypto/engines.hh"
 #include "mem/memory_map.hh"
 #include "mem/nvm_device.hh"
@@ -62,8 +62,8 @@ class TreeState
     std::uint64_t hashNodeBytes(NodeRef ref,
                                 const mem::Block &bytes) const;
 
-    /** Serialized latest counter block. */
-    mem::Block counterBytes(std::uint64_t idx) const;
+    /** Serialized latest counter block (zero block when untouched). */
+    const mem::Block &counterBytes(std::uint64_t idx) const;
 
     /**
      * Verify bytes fetched from NVM for counter @p idx against the
@@ -103,7 +103,7 @@ class TreeState
     std::uint64_t rebuildFromNvm(const mem::NvmDevice &nvm);
 
     /** Geometry shortcut. */
-    const Geometry &geometry() const { return map_->geometry(); }
+    const Geometry &geometry() const { return *geo_; }
 
   private:
     /** Recompute the parent-entry chain for counter @p idx. */
@@ -112,10 +112,31 @@ class TreeState
     /** Set entry @p slot of node @p ref to @p value. */
     void setEntry(NodeRef ref, unsigned slot, std::uint64_t value);
 
+    /** Device address of node @p ref (cached-layout fast path). */
+    Addr
+    nodeAddr(NodeRef ref) const
+    {
+        return treeBase_ + (geo_->linearId(ref) << kBlockShift);
+    }
+
     const mem::MemoryMap *map_;
     const crypto::HashEngine *hash_;
-    std::unordered_map<std::uint64_t, CounterBlock> counters_;
-    std::unordered_map<std::uint64_t, mem::Block> nodes_;
+
+    // Layout values resolved once: every write walks the ancestor
+    // path, so the per-access address math must be adds and shifts,
+    // not virtual-free but pointer-hopping calls into MemoryMap.
+    const Geometry *geo_;
+    Addr counterBase_;
+    Addr treeBase_;
+
+    FlatMap<std::uint64_t, CounterBlock> counters_;
+    // Serialized form of every entry in counters_, maintained by
+    // setCounter/rebuildFromNvm: each write hashes and persists the
+    // same serialized bytes, so packing the 7-bit minors once per
+    // mutation instead of per reader keeps serialize() off the
+    // per-access path.
+    FlatMap<std::uint64_t, mem::Block> counterBytes_;
+    FlatMap<std::uint64_t, mem::Block> nodes_;
 };
 
 } // namespace amnt::bmt

@@ -20,6 +20,11 @@ Cache::Cache(const CacheConfig &config) : config_(config)
               config.name.c_str(),
               static_cast<unsigned long long>(numSets_));
     lines_.resize(numSets_ * config.ways);
+    hits_ = &stats_.counter("hits");
+    misses_ = &stats_.counter("misses");
+    fills_ = &stats_.counter("fills");
+    evictions_ = &stats_.counter("evictions");
+    dirtyEvictions_ = &stats_.counter("dirty_evictions");
 }
 
 std::uint64_t
@@ -51,10 +56,10 @@ Cache::access(Addr addr, bool set_dirty)
 {
     Line *line = find(addr);
     if (line == nullptr) {
-        stats_.inc("misses");
+        ++*misses_;
         return false;
     }
-    stats_.inc("hits");
+    ++*hits_;
     line->lastUse = ++useClock_;
     if (set_dirty)
         line->dirty = true;
@@ -96,15 +101,15 @@ Cache::insert(Addr addr, bool dirty)
         result.evictedValid = true;
         result.evictedDirty = victim->dirty;
         result.evictedAddr = victim->tag;
-        stats_.inc("evictions");
+        ++*evictions_;
         if (victim->dirty)
-            stats_.inc("dirty_evictions");
+            ++*dirtyEvictions_;
     }
     victim->tag = blockAddr(blockOf(addr));
     victim->valid = true;
     victim->dirty = dirty;
     victim->lastUse = ++useClock_;
-    stats_.inc("fills");
+    ++*fills_;
     return result;
 }
 

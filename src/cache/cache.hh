@@ -51,6 +51,10 @@ class Cache
   public:
     explicit Cache(const CacheConfig &config);
 
+    // Noncopyable: hot-path counters point into the stats group.
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
     /** Cache name (statistics prefix). */
     const std::string &name() const { return config_.name; }
 
@@ -126,6 +130,13 @@ class Cache
     std::vector<Line> lines_;
     std::uint64_t useClock_ = 0;
     StatGroup stats_;
+
+    // Per-access counters resolved once (see StatGroup::counter).
+    std::uint64_t *hits_;
+    std::uint64_t *misses_;
+    std::uint64_t *fills_;
+    std::uint64_t *evictions_;
+    std::uint64_t *dirtyEvictions_;
 };
 
 } // namespace amnt::cache

@@ -1,0 +1,36 @@
+#include "common/env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace amnt
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+
+    // Reject signs outright: strtoull accepts "-2" and wraps it.
+    const char *p = v;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    const bool signed_or_empty = *p == '-' || *p == '+' || *p == '\0';
+
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (signed_or_empty || end == v || *end != '\0' ||
+        errno == ERANGE) {
+        warn("%s=\"%s\" is not a valid unsigned integer; using %llu",
+             name, v, static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return parsed;
+}
+
+} // namespace amnt

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Strict environment-variable parsing shared by the benches and the
+ * sweep runner.
+ *
+ * std::strtoull silently returns 0 for garbage and wraps negative
+ * input, so a typo like AMNT_BENCH_INSTR=2m would quietly run a
+ * 2-instruction benchmark. envU64 instead rejects anything that is
+ * not a complete non-negative decimal integer, warns on stderr, and
+ * falls back to the caller's default.
+ */
+
+#ifndef AMNT_COMMON_ENV_HH
+#define AMNT_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace amnt
+{
+
+/**
+ * Value of environment variable @p name parsed as an unsigned decimal
+ * integer; @p fallback when unset. Malformed values (empty, trailing
+ * garbage, a sign, or overflow past 2^64-1) produce one stderr
+ * warning and the fallback.
+ */
+std::uint64_t envU64(const char *name, std::uint64_t fallback);
+
+} // namespace amnt
+
+#endif // AMNT_COMMON_ENV_HH

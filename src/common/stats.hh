@@ -38,6 +38,18 @@ class StatGroup
         counters_[name] = value;
     }
 
+    /**
+     * Stable reference to the counter named @p name (created at 0).
+     * Hot paths resolve their counters once and bump through the
+     * reference, skipping the per-event string lookup; std::map never
+     * invalidates references, and reset() zeroes values in place.
+     */
+    std::uint64_t &
+    counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
     /** Value of the counter, or 0 when never touched. */
     std::uint64_t
     get(const std::string &name) const

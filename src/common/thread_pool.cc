@@ -1,0 +1,123 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace amnt
+{
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    queues_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    stop_.store(true);
+    {
+        // Taking the lock orders the store against sleeping workers'
+        // predicate checks, so none can miss the shutdown signal.
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    const std::size_t victim =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[victim]->mutex);
+        queues_[victim]->tasks.push_back(std::move(task));
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        queued_.fetch_add(1, std::memory_order_relaxed);
+    }
+    wake_.notify_one();
+}
+
+bool
+ThreadPool::runOne(unsigned self)
+{
+    std::function<void()> task;
+
+    // Own queue first, newest task (LIFO keeps the footprint warm)...
+    {
+        WorkQueue &own = *queues_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.back());
+            own.tasks.pop_back();
+        }
+    }
+    // ... then steal the oldest task from the other queues.
+    if (!task) {
+        const std::size_t n = queues_.size();
+        for (std::size_t d = 1; d < n && !task; ++d) {
+            WorkQueue &other = *queues_[(self + d) % n];
+            std::lock_guard<std::mutex> lock(other.mutex);
+            if (!other.tasks.empty()) {
+                task = std::move(other.tasks.front());
+                other.tasks.pop_front();
+            }
+        }
+    }
+    if (!task)
+        return false;
+
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    task();
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        idle_.notify_all();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    while (true) {
+        if (runOne(self))
+            continue;
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        wake_.wait(lock, [this] {
+            return stop_.load() ||
+                   queued_.load(std::memory_order_relaxed) > 0;
+        });
+        if (stop_.load() &&
+            queued_.load(std::memory_order_relaxed) == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    idle_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+} // namespace amnt

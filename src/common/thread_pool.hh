@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Work-stealing thread pool for coarse-grained, independent jobs.
+ *
+ * Each worker owns a deque: it pops its own work LIFO (cache-warm)
+ * and steals FIFO from the other workers when it runs dry, so a few
+ * long simulations left on one queue are redistributed instead of
+ * serializing the tail of a sweep. Submissions round-robin across the
+ * queues. The pool makes no ordering promises — callers that need
+ * deterministic results index into a pre-sized output array, which is
+ * exactly what sweep::run does.
+ */
+
+#ifndef AMNT_COMMON_THREAD_POOL_HH
+#define AMNT_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amnt
+{
+
+/** Fixed-size pool executing submitted tasks on worker threads. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 means one per hardware thread
+     *        (at least 1).
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins the workers; pending tasks are completed first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue @p task; it may start immediately on another thread. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished running. */
+    void wait();
+
+    /** Hardware concurrency with a floor of 1. */
+    static unsigned hardwareThreads();
+
+  private:
+    /** One worker's deque; owner pops back, thieves pop front. */
+    struct WorkQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    /** Run one task if any can be popped or stolen. */
+    bool runOne(unsigned self);
+
+    void workerLoop(unsigned self);
+
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex sleepMutex_;
+    std::condition_variable wake_;  ///< workers sleep here when dry
+    std::condition_variable idle_;  ///< wait() sleeps here
+
+    std::atomic<std::uint64_t> queued_{0};  ///< tasks not yet started
+    std::atomic<std::uint64_t> pending_{0}; ///< queued + running
+    std::atomic<bool> stop_{false};
+    std::atomic<std::size_t> nextQueue_{0}; ///< round-robin submit
+};
+
+} // namespace amnt
+
+#endif // AMNT_COMMON_THREAD_POOL_HH

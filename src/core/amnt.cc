@@ -17,6 +17,8 @@ AmntEngine::AmntEngine(const mee::MeeConfig &config, mem::NvmDevice &nvm)
               config.amntSubtreeLevel, map_.geometry().nodeLevels());
     if (config.amntInterval == 0)
         fatal("AMNT interval must be non-zero");
+    subtreeHits_ = &stats_.counter("subtree_hits");
+    subtreeMisses_ = &stats_.counter("subtree_misses");
 }
 
 Cycle
@@ -26,7 +28,7 @@ AmntEngine::persistInside(const WriteContext &ctx)
     // one parallel burst; tree nodes stay dirty in the metadata
     // cache. The subtree-root register (on-chip, non-volatile) is
     // refreshed so recovery can re-anchor the recomputed subtree.
-    stats_.inc("subtree_hits");
+    ++*subtreeHits_;
     writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
     writeThrough(map_.hmacAddrOf(ctx.dataAddr));
     refreshSubtreeRegister();
@@ -38,10 +40,11 @@ AmntEngine::persistOutside(const WriteContext &ctx)
 {
     // Strict persistence: read-modify-write the ancestral path and
     // write everything through, ordered.
-    stats_.inc("subtree_misses");
+    ++*subtreeMisses_;
     unsigned misses = 0;
     Cycle hook = 0;
-    const auto path = pathOf(ctx.counterIdx);
+    pathOf(ctx.counterIdx, pathScratch_);
+    const auto &path = pathScratch_;
     for (const auto &ref : path)
         hook += ensureResident(map_.nodeAddrOf(ref), misses);
     Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;

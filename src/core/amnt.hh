@@ -117,6 +117,11 @@ class AmntEngine : public mee::MemoryEngine
     }
 
     HistoryBuffer history_;
+
+    /// Per-write statistics resolved once (see StatGroup::counter).
+    std::uint64_t *subtreeHits_;
+    std::uint64_t *subtreeMisses_;
+
     std::uint64_t region_ = 0;
     std::uint64_t writesThisInterval_ = 0;
 

@@ -30,7 +30,8 @@ StrictEngine::persistPolicy(const WriteContext &ctx)
     // strict persistence runs up to 2.4x slower than volatile.
     unsigned misses = 0;
     Cycle hook = 0;
-    const auto path = pathOf(ctx.counterIdx);
+    pathOf(ctx.counterIdx, pathScratch_);
+    const auto &path = pathScratch_;
     for (const auto &ref : path)
         hook += ensureResident(map_.nodeAddrOf(ref), misses);
     Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;

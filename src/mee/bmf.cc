@@ -91,7 +91,8 @@ BmfEngine::persistPolicy(const WriteContext &ctx)
     unsigned misses = 0;
     Cycle hook = 0;
     unsigned below = 0;
-    const auto path = pathOf(ctx.counterIdx);
+    pathOf(ctx.counterIdx, pathScratch_);
+    const auto &path = pathScratch_;
     for (const auto &ref : path) {
         if (ref.level <= cover_level)
             break;

@@ -35,6 +35,11 @@ MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm)
               static_cast<unsigned long long>(nvm.capacity()),
               static_cast<unsigned long long>(map_.deviceBytes()));
     tree_ = std::make_unique<bmt::TreeState>(map_, *crypto_.hash);
+    dataReads_ = &stats_.counter("data_reads");
+    dataWrites_ = &stats_.counter("data_writes");
+    metaFetches_ = &stats_.counter("meta_fetches");
+    metaWritebacks_ = &stats_.counter("meta_writebacks");
+    persistWrites_ = &stats_.counter("persist_writes");
 }
 
 Cycle
@@ -143,7 +148,7 @@ MemoryEngine::handleEviction(const cache::AccessResult &res)
         return;
 
     // Lazy write-back: the victim's latest bytes reach NVM now.
-    stats_.inc("meta_writebacks");
+    ++*metaWritebacks_;
     persistBytes(victim, latestBytes(victim));
 
     // Propagate freshness: a dirty tree node's parent must now track
@@ -170,7 +175,7 @@ MemoryEngine::ensureResident(Addr maddr, unsigned &misses)
     if (mcache_.access(maddr, false))
         return 0;
     ++misses;
-    stats_.inc("meta_fetches");
+    ++*metaFetches_;
     mem::Block bytes;
     nvm_->readBlock(maddr, bytes);
     verifyFetched(maddr, bytes);
@@ -213,7 +218,7 @@ MemoryEngine::markDirty(Addr maddr)
     if (!mcache_.access(maddr, true)) {
         // Rare: the block was displaced between residency setup and
         // this update; re-fetch (read-modify-write).
-        stats_.inc("meta_fetches");
+        ++*metaFetches_;
         mem::Block bytes;
         nvm_->readBlock(maddr, bytes);
         verifyFetched(maddr, bytes);
@@ -228,7 +233,7 @@ void
 MemoryEngine::writeThrough(Addr maddr)
 {
     maddr = blockAddr(blockOf(maddr));
-    stats_.inc("persist_writes");
+    ++*persistWrites_;
     persistBytes(maddr, latestBytes(maddr));
     mcache_.clean(maddr);
     onMetaUpdate(maddr);
@@ -238,13 +243,21 @@ std::vector<bmt::NodeRef>
 MemoryEngine::pathOf(std::uint64_t counterIdx) const
 {
     std::vector<bmt::NodeRef> path;
+    pathOf(counterIdx, path);
+    return path;
+}
+
+void
+MemoryEngine::pathOf(std::uint64_t counterIdx,
+                     std::vector<bmt::NodeRef> &out) const
+{
+    out.clear();
     bmt::NodeRef ref = map_.geometry().leafNodeOf(counterIdx);
-    path.push_back(ref);
+    out.push_back(ref);
     while (ref.level > 1) {
         ref = bmt::Geometry::parentOf(ref);
-        path.push_back(ref);
+        out.push_back(ref);
     }
-    return path;
 }
 
 void
@@ -333,7 +346,7 @@ MemoryEngine::read(Addr addr, std::uint8_t *out)
 {
     if (crashed_)
         panic("MEE read after crash without recovery");
-    stats_.inc("data_reads");
+    ++*dataReads_;
     const Addr block = blockAddr(blockOf(addr));
     const std::uint64_t counter_idx = map_.counterIndexOf(block);
 
@@ -456,9 +469,10 @@ MemoryEngine::writeCommon(Addr addr, const std::uint8_t *data,
     markDirty(leaf_node_addr);
     markDirty(haddr);
 
-    // The on-chip root register tracks the architectural root. For
-    // persistent protocols this register is non-volatile.
-    refreshRootRegister();
+    // The on-chip root register tracks the architectural root. The
+    // simulator computes its value on demand (rootRegister()) and
+    // snapshots it at crash(): hashing the root node on every write
+    // would model the same architecture at twice the hash cost.
     return lat;
 }
 
@@ -467,7 +481,7 @@ MemoryEngine::write(Addr addr, const std::uint8_t *data)
 {
     if (crashed_)
         panic("MEE write after crash without recovery");
-    stats_.inc("data_writes");
+    ++*dataWrites_;
     WriteContext ctx;
     Cycle lat = writeCommon(addr, data, ctx);
     lat += persistPolicy(ctx);
@@ -477,6 +491,10 @@ MemoryEngine::write(Addr addr, const std::uint8_t *data)
 void
 MemoryEngine::crash()
 {
+    // The NV root register survives with its last written value;
+    // latch it before the architectural tree becomes unreachable
+    // (recovery rebuilds tree_ from NVM and compares against this).
+    refreshRootRegister();
     // Volatile on-chip state vanishes; NVM and NV registers survive.
     mcache_.invalidateAll();
     crashed_ = true;

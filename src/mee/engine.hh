@@ -29,11 +29,11 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "bmt/tree.hh"
 #include "cache/cache.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "crypto/engines.hh"
@@ -166,8 +166,17 @@ class MemoryEngine
     /** Configuration. */
     const MeeConfig &config() const { return config_; }
 
-    /** On-chip root register value (testing). */
-    std::uint64_t rootRegister() const { return rootRegister_; }
+    /**
+     * On-chip root register value (testing). Architecturally the
+     * register refreshes on every write; the simulator computes the
+     * equivalent value lazily — live from the tree while running,
+     * from the crash-time snapshot afterwards.
+     */
+    std::uint64_t
+    rootRegister() const
+    {
+        return crashed_ ? rootRegister_ : tree_->rootHash();
+    }
 
     /**
      * Crash-staleness audit: metadata blocks whose persisted (NVM)
@@ -265,6 +274,14 @@ class MemoryEngine
     /** Tree-path node refs for a counter, deepest first. */
     std::vector<bmt::NodeRef> pathOf(std::uint64_t counterIdx) const;
 
+    /**
+     * pathOf into a reusable buffer (cleared first). Persist policies
+     * run once per simulated write; passing pathScratch_ here avoids
+     * a heap allocation on that hot path.
+     */
+    void pathOf(std::uint64_t counterIdx,
+                std::vector<bmt::NodeRef> &out) const;
+
     /** Record an integrity violation. */
     void flagViolation(const char *what, Addr addr);
 
@@ -296,7 +313,7 @@ class MemoryEngine
     StatGroup stats_;
 
     /** Latest HMAC-block bytes (architectural). */
-    std::unordered_map<Addr, mem::Block> hmacLatest_;
+    FlatMap<Addr, mem::Block> hmacLatest_;
 
     /**
      * MAC of the bytes last persisted per metadata block; fetched
@@ -305,10 +322,13 @@ class MemoryEngine
      * integrity machinery, not in NVM, and survives crashes because
      * it describes persistent state.
      */
-    std::unordered_map<Addr, std::uint64_t> persistedMac_;
+    FlatMap<Addr, std::uint64_t> persistedMac_;
 
     /** Plaintext contents when trackContents (functional plane). */
-    std::unordered_map<BlockId, mem::Block> plaintext_;
+    FlatMap<BlockId, mem::Block> plaintext_;
+
+    /** Reusable path buffer for persist policies (see pathOf). */
+    std::vector<bmt::NodeRef> pathScratch_;
 
     /** On-chip root register (NV except for Volatile). */
     std::uint64_t rootRegister_ = 0;
@@ -319,6 +339,13 @@ class MemoryEngine
     std::uint64_t violations_ = 0;
 
   private:
+    // Per-access statistics resolved once (see StatGroup::counter).
+    std::uint64_t *dataReads_;
+    std::uint64_t *dataWrites_;
+    std::uint64_t *metaFetches_;
+    std::uint64_t *metaWritebacks_;
+    std::uint64_t *persistWrites_;
+
     /** Handle a (possibly dirty) eviction returned by the cache. */
     void handleEviction(const cache::AccessResult &res);
 

@@ -13,69 +13,14 @@ NvmDevice::NvmDevice(std::uint64_t capacity, const NvmTiming &timing)
         panic("NvmDevice requires non-zero capacity");
 }
 
-void
-NvmDevice::checkAddr(Addr addr) const
-{
-    if (addr >= capacity_)
-        panic("NVM access beyond capacity: %llx >= %llx",
-              static_cast<unsigned long long>(addr),
-              static_cast<unsigned long long>(capacity_));
-}
-
-void
-NvmDevice::readBlock(Addr addr, Block &out)
-{
-    checkAddr(addr);
-    ++reads_;
-    auto it = store_.find(blockOf(addr));
-    if (it == store_.end())
-        out.fill(0);
-    else
-        out = it->second;
-}
-
-void
-NvmDevice::writeBlock(Addr addr, const Block &data)
-{
-    checkAddr(addr);
-    ++writes_;
-    store_[blockOf(addr)] = data;
-}
-
-void
-NvmDevice::peek(Addr addr, Block &out) const
-{
-    checkAddr(addr);
-    auto it = store_.find(blockOf(addr));
-    if (it == store_.end())
-        out.fill(0);
-    else
-        out = it->second;
-}
-
-void
-NvmDevice::touchRead(Addr addr)
-{
-    checkAddr(addr);
-    ++reads_;
-}
-
-void
-NvmDevice::touchWrite(Addr addr)
-{
-    checkAddr(addr);
-    ++writes_;
-}
-
 bool
 NvmDevice::tamper(Addr addr, std::size_t offset, std::uint8_t mask)
 {
     checkAddr(addr);
     if (offset >= kBlockSize)
         panic("tamper offset out of range");
+    // try_emplace value-initializes fresh blocks to all-zero.
     auto [it, fresh] = store_.try_emplace(blockOf(addr));
-    if (fresh)
-        it->second.fill(0);
     it->second[offset] ^= mask;
     return !fresh;
 }

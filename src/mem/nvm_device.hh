@@ -20,8 +20,10 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
-#include <unordered_map>
 
+#include "common/bitops.hh"
+#include "common/flat_map.hh"
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -59,22 +61,59 @@ class NvmDevice
     const NvmTiming &timing() const { return timing_; }
 
     /** Read the block containing @p addr into @p out. */
-    void readBlock(Addr addr, Block &out);
+    void
+    readBlock(Addr addr, Block &out)
+    {
+        checkAddr(addr);
+        ++reads_;
+        auto it = store_.find(blockOf(addr));
+        if (it == store_.end())
+            out.fill(0);
+        else
+            out = it->second;
+    }
 
     /** Write @p data to the block containing @p addr (persists). */
-    void writeBlock(Addr addr, const Block &data);
+    void
+    writeBlock(Addr addr, const Block &data)
+    {
+        checkAddr(addr);
+        ++writes_;
+        // try_emplace + assign: fresh blocks are value-initialized
+        // then overwritten, existing blocks take one probe total.
+        store_.try_emplace(blockOf(addr)).first->second = data;
+    }
 
     /** Read contents without generating device traffic (model use). */
-    void peek(Addr addr, Block &out) const;
+    void
+    peek(Addr addr, Block &out) const
+    {
+        checkAddr(addr);
+        auto it = store_.find(blockOf(addr));
+        if (it == store_.end())
+            out.fill(0);
+        else
+            out = it->second;
+    }
 
     /**
      * Account a read without touching contents (timing plane).
      * Content-free and content-full paths share the same statistics.
      */
-    void touchRead(Addr addr);
+    void
+    touchRead(Addr addr)
+    {
+        checkAddr(addr);
+        ++reads_;
+    }
 
     /** Account a write without touching contents (timing plane). */
-    void touchWrite(Addr addr);
+    void
+    touchWrite(Addr addr)
+    {
+        checkAddr(addr);
+        ++writes_;
+    }
 
     /**
      * Simulate a physical attack: XOR @p mask into byte @p offset of
@@ -110,11 +149,18 @@ class NvmDevice
         const std::function<void(Addr, const Block &)> &visitor) const;
 
   private:
-    void checkAddr(Addr addr) const;
+    void
+    checkAddr(Addr addr) const
+    {
+        if (addr >= capacity_)
+            panic("NVM access beyond capacity: %llx >= %llx",
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(capacity_));
+    }
 
     std::uint64_t capacity_;
     NvmTiming timing_;
-    std::unordered_map<BlockId, Block> store_;
+    FlatMap<BlockId, Block> store_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
 };

@@ -1,0 +1,75 @@
+#include "sim/sweep.hh"
+
+#include <chrono>
+
+#include "common/env.hh"
+#include "common/thread_pool.hh"
+
+namespace amnt::sweep
+{
+
+namespace
+{
+
+Outcome
+runJob(const Job &job)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    Outcome out;
+    sim::System sys(job.config);
+    for (const auto &w : job.processes)
+        sys.addProcess(w);
+    out.result = sys.run(job.instructions, job.warmup);
+    if (job.config.recordAccessHistogram)
+        out.accessHistogram = sys.accessHistogram();
+
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return out;
+}
+
+} // namespace
+
+unsigned
+threadCount()
+{
+    const std::uint64_t n =
+        envU64("AMNT_SWEEP_THREADS", ThreadPool::hardwareThreads());
+    return n == 0 ? 1 : static_cast<unsigned>(n);
+}
+
+void
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t)> &fn,
+            unsigned threads)
+{
+    if (threads == 0)
+        threads = threadCount();
+    if (threads <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (static_cast<std::size_t>(threads) > n)
+        threads = static_cast<unsigned>(n);
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+std::vector<Outcome>
+run(const std::vector<Job> &jobs, unsigned threads)
+{
+    std::vector<Outcome> outcomes(jobs.size());
+    parallelFor(
+        jobs.size(),
+        [&](std::size_t i) { outcomes[i] = runJob(jobs[i]); },
+        threads);
+    return outcomes;
+}
+
+} // namespace amnt::sweep

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Parallel sweep runner for the benchmark harnesses.
+ *
+ * Every figure/table binary replays the same pattern: tens of fully
+ * independent (protocol x workload x config) simulations whose results
+ * are only combined at formatting time. sweep::run executes such a
+ * job list on a work-stealing thread pool and returns the outcomes in
+ * submission order.
+ *
+ * Determinism guarantee: results are bit-identical to a serial run at
+ * any thread count. Each job constructs its own sim::System (and with
+ * it its own mee::MemoryEngine, mem::NvmDevice, allocator and caches),
+ * all simulation randomness is seeded per job from its WorkloadConfig,
+ * and no simulator state is shared between jobs — threads only decide
+ * *when* a job runs, never what it computes. Wall-clock fields are the
+ * only nondeterministic outputs.
+ *
+ * Thread count: AMNT_SWEEP_THREADS when set (strictly parsed),
+ * otherwise one thread per hardware thread.
+ */
+
+#ifndef AMNT_SIM_SWEEP_HH
+#define AMNT_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace amnt::sweep
+{
+
+/** One independent simulation: a system, its processes, a run length. */
+struct Job
+{
+    sim::SystemConfig config;
+    std::vector<sim::WorkloadConfig> processes;
+    std::uint64_t instructions = 0;
+    std::uint64_t warmup = 0;
+};
+
+/** Result of one job plus host-side measurement. */
+struct Outcome
+{
+    sim::RunResult result;
+    double wallSeconds = 0.0; ///< host time; nondeterministic
+
+    /** Copy of the frame histogram when the job recorded one. */
+    std::unordered_map<PageId, std::uint64_t> accessHistogram;
+};
+
+/** Worker count: AMNT_SWEEP_THREADS, else hardware threads. */
+unsigned threadCount();
+
+/**
+ * Run every job and return outcomes in submission order.
+ * @param threads Worker count; 0 = threadCount().
+ */
+std::vector<Outcome> run(const std::vector<Job> &jobs,
+                         unsigned threads = 0);
+
+/**
+ * Run @p fn(0..n-1) on the pool; same determinism contract as run()
+ * provided each index works on its own state. Used by harness phases
+ * that need more than a RunResult (e.g. functional recovery).
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn,
+                 unsigned threads = 0);
+
+} // namespace amnt::sweep
+
+#endif // AMNT_SIM_SWEEP_HH

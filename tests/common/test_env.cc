@@ -1,0 +1,85 @@
+/**
+ * envU64 tests: well-formed values parse, and every malformed shape
+ * that std::strtoull would silently mangle (suffixed units, signs,
+ * empty strings, overflow) falls back to the caller's default instead
+ * of quietly truncating a benchmark to a handful of instructions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+
+using namespace amnt;
+
+namespace
+{
+
+constexpr const char *kVar = "AMNT_TEST_ENV_U64";
+
+class EnvU64 : public ::testing::Test
+{
+  protected:
+    void TearDown() override { ::unsetenv(kVar); }
+
+    void set(const char *value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(EnvU64, UnsetReturnsFallback)
+{
+    ::unsetenv(kVar);
+    EXPECT_EQ(envU64(kVar, 42), 42u);
+}
+
+TEST_F(EnvU64, ParsesPlainDecimal)
+{
+    set("2000000");
+    EXPECT_EQ(envU64(kVar, 1), 2'000'000u);
+    set("0");
+    EXPECT_EQ(envU64(kVar, 1), 0u);
+    set("18446744073709551615"); // 2^64 - 1
+    EXPECT_EQ(envU64(kVar, 1), ~0ull);
+}
+
+TEST_F(EnvU64, AcceptsSurroundingSpaces)
+{
+    set("  123");
+    EXPECT_EQ(envU64(kVar, 1), 123u);
+}
+
+TEST_F(EnvU64, RejectsUnitSuffix)
+{
+    set("2m"); // the motivating typo: 2m must not become 2
+    EXPECT_EQ(envU64(kVar, 777), 777u);
+    set("1e6");
+    EXPECT_EQ(envU64(kVar, 777), 777u);
+}
+
+TEST_F(EnvU64, RejectsEmptyAndGarbage)
+{
+    set("");
+    EXPECT_EQ(envU64(kVar, 5), 5u);
+    set("   ");
+    EXPECT_EQ(envU64(kVar, 5), 5u);
+    set("abc");
+    EXPECT_EQ(envU64(kVar, 5), 5u);
+}
+
+TEST_F(EnvU64, RejectsSigns)
+{
+    set("-1"); // strtoull would wrap this to 2^64-1
+    EXPECT_EQ(envU64(kVar, 9), 9u);
+    set("+4");
+    EXPECT_EQ(envU64(kVar, 9), 9u);
+}
+
+TEST_F(EnvU64, RejectsOverflow)
+{
+    set("18446744073709551616"); // 2^64
+    EXPECT_EQ(envU64(kVar, 11), 11u);
+    set("99999999999999999999999999");
+    EXPECT_EQ(envU64(kVar, 11), 11u);
+}
+
+} // namespace
