@@ -42,6 +42,12 @@ class Geometry
 {
   public:
     /**
+     * Upper bound on nodeLevels() for any representable device (8^21
+     * counters exceeds a 2^63 B device); sized for stack path buffers.
+     */
+    static constexpr unsigned kMaxPathNodes = 22;
+
+    /**
      * @param n_counter_blocks Number of counter blocks (= pages of
      *        protected data); padded up to a power of 8, minimum 8.
      */
@@ -158,8 +164,8 @@ class Geometry
     }
 
   private:
-    /** Deepest possible tree: 8^21 counters exceeds a 2^63 B device. */
-    static constexpr unsigned kMaxLevels = 22;
+    /** Deepest possible tree (see kMaxPathNodes). */
+    static constexpr unsigned kMaxLevels = kMaxPathNodes;
 
     /** log2 of countersPerNode(level). */
     unsigned

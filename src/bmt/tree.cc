@@ -1,6 +1,8 @@
 #include "bmt/tree.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/bitops.hh"
 #include "common/log.hh"
@@ -21,6 +23,35 @@ isZeroBlock(const mem::Block &b)
         if (byte != 0)
             return false;
     return true;
+}
+
+/**
+ * Batched hash of @p n blocks with the zero-block -> 0 convention:
+ * out[i] = mac64(blockOf(i), tweakOf(i)), zero blocks skipping the
+ * MAC entirely, all real MACs in one mac64xN burst.
+ */
+template <typename BlockFn, typename TweakFn>
+void
+batchHash(const crypto::HashEngine &hash, std::size_t n,
+          BlockFn &&blockOf, TweakFn &&tweakOf,
+          std::vector<std::uint64_t> &out)
+{
+    out.assign(n, 0);
+    std::vector<crypto::MacRequest> reqs;
+    std::vector<std::size_t> pos;
+    reqs.reserve(n);
+    pos.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const mem::Block &b = blockOf(i);
+        if (isZeroBlock(b))
+            continue;
+        reqs.push_back({b.data(), b.size(), tweakOf(i)});
+        pos.push_back(i);
+    }
+    std::vector<std::uint64_t> macs(reqs.size());
+    hash.mac64xN(reqs.data(), reqs.size(), macs.data());
+    for (std::size_t j = 0; j < reqs.size(); ++j)
+        out[pos[j]] = macs[j];
 }
 
 } // namespace
@@ -156,18 +187,77 @@ TreeState::rebuildFromNvm(const mem::NvmDevice &nvm)
     nodes_.clear();
     const Addr lo = map_->counterBase();
     const Addr hi = map_->hmacBase();
-    nvm.forEachBlockIn(lo, hi, [this, lo](Addr addr, const mem::Block &b) {
+    std::vector<std::uint64_t> idxs;
+    nvm.forEachBlockIn(lo, hi,
+                       [this, lo, &idxs](Addr addr, const mem::Block &b) {
         const std::uint64_t idx = (addr - lo) / kBlockSize;
         counters_[idx] = CounterBlock::deserialize(b);
+        idxs.push_back(idx);
     });
+    std::sort(idxs.begin(), idxs.end());
     // Re-serialize rather than caching the raw persisted bytes: the
     // hash chain must be computed over the canonical encoding, exactly
     // as the pre-crash updatePath did (tampered non-canonical bytes
     // must not leak into the rebuilt tree).
-    for (const auto &kv : counters_)
-        counterBytes_[kv.first] = kv.second.serialize();
-    for (const auto &kv : counters_)
-        updatePath(kv.first);
+    for (std::uint64_t idx : idxs)
+        counterBytes_[idx] = counters_.find(idx)->second.serialize();
+
+    // Level-by-level rebuild: every entry of a level is final before
+    // the level itself is hashed, so each touched node is MACed
+    // exactly once (the per-counter updatePath walk re-hashes shared
+    // ancestors once per descendant), and each level's hashes go
+    // through one batched mac64xN burst.
+    const unsigned deepest = geo_->nodeLevels();
+
+    // Counter leaves -> deepest node level.
+    {
+        std::vector<std::uint64_t> macs;
+        batchHash(
+            *hash_, idxs.size(),
+            [this, &idxs](std::size_t i) -> const mem::Block & {
+                return counterBytes(idxs[i]);
+            },
+            [this, &idxs](std::size_t i) {
+                return counterBase_ + idxs[i] * kBlockSize;
+            },
+            macs);
+        for (std::size_t i = 0; i < idxs.size(); ++i)
+            setEntry(geo_->leafNodeOf(idxs[i]),
+                     static_cast<unsigned>(idxs[i] % kTreeArity),
+                     macs[i]);
+    }
+
+    // Touched node indices at the current level, sorted and unique.
+    std::vector<std::uint64_t> level_idx;
+    level_idx.reserve(idxs.size());
+    for (std::uint64_t idx : idxs)
+        level_idx.push_back(geo_->leafNodeOf(idx).index);
+    level_idx.erase(std::unique(level_idx.begin(), level_idx.end()),
+                    level_idx.end());
+
+    for (unsigned level = deepest; level > 1; --level) {
+        std::vector<std::uint64_t> macs;
+        batchHash(
+            *hash_, level_idx.size(),
+            [this, level, &level_idx](std::size_t i)
+                -> const mem::Block & {
+                return node({level, level_idx[i]});
+            },
+            [this, level, &level_idx](std::size_t i) {
+                return nodeAddr({level, level_idx[i]});
+            },
+            macs);
+        for (std::size_t i = 0; i < level_idx.size(); ++i) {
+            const NodeRef ref{level, level_idx[i]};
+            setEntry(Geometry::parentOf(ref), Geometry::slotOf(ref),
+                     macs[i]);
+        }
+        for (auto &idx : level_idx)
+            idx /= kTreeArity;
+        level_idx.erase(
+            std::unique(level_idx.begin(), level_idx.end()),
+            level_idx.end());
+    }
     return rootHash();
 }
 

@@ -29,8 +29,9 @@ AmntEngine::persistInside(const WriteContext &ctx)
     // cache. The subtree-root register (on-chip, non-volatile) is
     // refreshed so recovery can re-anchor the recomputed subtree.
     ++*subtreeHits_;
-    writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
-    writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    const Addr wt[2] = {map_.counterBase() + ctx.counterIdx * kBlockSize,
+                        map_.hmacAddrOf(ctx.dataAddr)};
+    writeThroughMany(wt, 2);
     refreshSubtreeRegister();
     return persistCost(1);
 }
@@ -49,10 +50,14 @@ AmntEngine::persistOutside(const WriteContext &ctx)
         hook += ensureResident(map_.nodeAddrOf(ref), misses);
     Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
 
-    writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
-    writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    // One batched write-through of the ordered persist set.
+    Addr wt[2 + bmt::Geometry::kMaxPathNodes];
+    std::size_t nwt = 0;
+    wt[nwt++] = map_.counterBase() + ctx.counterIdx * kBlockSize;
+    wt[nwt++] = map_.hmacAddrOf(ctx.dataAddr);
     for (const auto &ref : path)
-        writeThrough(map_.nodeAddrOf(ref));
+        wt[nwt++] = map_.nodeAddrOf(ref);
+    writeThroughMany(wt, nwt);
 
     lat += persistCost(3 + static_cast<unsigned>(path.size()));
     return lat + hook;
@@ -123,21 +128,23 @@ AmntEngine::moveSubtreeTo(std::uint64_t new_region)
         if (dirty && map_.classify(addr) == mem::Region::Tree)
             dirty_nodes.push_back(addr);
     });
-    for (Addr addr : dirty_nodes) {
-        writeThrough(addr);
+    writeThroughMany(dirty_nodes.data(), dirty_nodes.size());
+    for (std::size_t i = 0; i < dirty_nodes.size(); ++i)
         stats_.inc("movement_flush_writes");
-    }
 
     // Persist the path from the outgoing subtree root to the global
     // root so the strict region is anchored again.
+    Addr anchor[bmt::Geometry::kMaxPathNodes];
+    std::size_t n_anchor = 0;
     bmt::NodeRef ref = subtreeRoot();
     while (true) {
-        writeThrough(map_.nodeAddrOf(ref));
+        anchor[n_anchor++] = map_.nodeAddrOf(ref);
         stats_.inc("movement_flush_writes");
         if (ref.level == 1)
             break;
         ref = bmt::Geometry::parentOf(ref);
     }
+    writeThroughMany(anchor, n_anchor);
 
     region_ = new_region;
     refreshSubtreeRegister();

@@ -14,11 +14,21 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "crypto/dispatch.hh"
+
 namespace amnt::crypto
 {
 
 /** A 16-byte AES block or key. */
 using AesBlock = std::array<std::uint8_t, 16>;
+
+/**
+ * Portable AES-128 ECB encryption of @p nblocks 16-byte blocks with
+ * the expanded schedule @p rk (the scalar kernel behind
+ * dispatch::AesEncryptFn).
+ */
+void aes128EncryptScalar(const std::uint8_t *rk, const std::uint8_t *in,
+                         std::uint8_t *out, std::size_t nblocks);
 
 /**
  * AES-128 with a fixed key schedule computed at construction.
@@ -28,15 +38,31 @@ using AesBlock = std::array<std::uint8_t, 16>;
 class Aes128
 {
   public:
-    /** Expand the 16-byte key into the round-key schedule. */
+    /**
+     * Expand the 16-byte key into the round-key schedule and capture
+     * the active dispatch kernel (AES-NI or scalar).
+     */
     explicit Aes128(const AesBlock &key);
 
     /** Encrypt one 16-byte block in place semantics: out = E_k(in). */
     AesBlock encrypt(const AesBlock &in) const;
 
+    /**
+     * Encrypt @p nblocks consecutive 16-byte blocks; the dispatched
+     * kernel pipelines independent blocks through the cipher rounds,
+     * so wide calls amortize the per-block latency.
+     */
+    void
+    encryptBlocks(const std::uint8_t *in, std::uint8_t *out,
+                  std::size_t nblocks) const
+    {
+        enc_(roundKeys_, in, out, nblocks);
+    }
+
   private:
     // 11 round keys of 16 bytes each.
     std::uint8_t roundKeys_[176];
+    dispatch::AesEncryptFn enc_;
 };
 
 } // namespace amnt::crypto

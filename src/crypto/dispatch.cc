@@ -1,0 +1,197 @@
+#include "crypto/dispatch.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+#include "crypto/aes128.hh"
+#include "crypto/isa_kernels.hh"
+#include "crypto/sha256.hh"
+#include "crypto/siphash.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace amnt::crypto::dispatch
+{
+
+namespace
+{
+
+CpuCaps
+detectCaps()
+{
+    CpuCaps caps;
+#if defined(__x86_64__) || defined(__i386__)
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    bool osxsave = false;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+        caps.ssse3 = (ecx & (1u << 9)) != 0;
+        caps.sse41 = (ecx & (1u << 19)) != 0;
+        caps.aesni = (ecx & (1u << 25)) != 0;
+        osxsave = (ecx & (1u << 27)) != 0;
+    }
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+        caps.shani = (ebx & (1u << 29)) != 0;
+        caps.avx2 = (ebx & (1u << 5)) != 0;
+        caps.avx512vl =
+            (ebx & (1u << 16)) != 0 && (ebx & (1u << 31)) != 0;
+    }
+    // AVX state is only usable when the OS context-switches it:
+    // XCR0 must enable ymm (bits 2:1) and, for AVX-512, the opmask
+    // and zmm state as well (bits 7:5).
+    std::uint64_t xcr0 = 0;
+    if (osxsave) {
+        unsigned lo = 0, hi = 0;
+        asm volatile(".byte 0x0f, 0x01, 0xd0" // xgetbv
+                     : "=a"(lo), "=d"(hi)
+                     : "c"(0));
+        xcr0 = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    }
+    caps.avx2 = caps.avx2 && (xcr0 & 0x6) == 0x6;
+    caps.avx512vl = caps.avx512vl && (xcr0 & 0xe6) == 0xe6;
+#endif
+    // A feature only counts when the matching kernel was compiled in
+    // (non-x86 builds and builds without the ISA flags get stubs).
+    caps.aesni = caps.aesni && aesniEncryptKernel() != nullptr;
+    caps.shani = caps.shani && caps.sse41 && caps.ssse3 &&
+                 shaniCompressKernel() != nullptr;
+    caps.avx2 = caps.avx2 && sipAvx2Kernel() != nullptr;
+    caps.avx512vl = caps.avx512vl && sipAvx512Kernel() != nullptr;
+    return caps;
+}
+
+Kernels
+resolve(Isa isa)
+{
+    Kernels k;
+    k.isa = isa;
+    k.sha256Compress = &sha256CompressScalar;
+    k.aesEncrypt = &aes128EncryptScalar;
+    k.sip4 = &sip4Scalar;
+    const CpuCaps &caps = cpuCaps();
+    if ((isa == Isa::AesNi || isa == Isa::Native) && caps.aesni)
+        k.aesEncrypt = aesniEncryptKernel();
+    if ((isa == Isa::ShaNi || isa == Isa::Native) && caps.shani)
+        k.sha256Compress = shaniCompressKernel();
+    // The partial sets isolate their named kernel; only "native"
+    // engages the vector SipHash batch kernel.
+    if (isa == Isa::Native) {
+        if (caps.avx512vl)
+            k.sip4 = sipAvx512Kernel();
+        else if (caps.avx2)
+            k.sip4 = sipAvx2Kernel();
+    }
+    return k;
+}
+
+Isa
+isaFromEnv()
+{
+    const char *env = std::getenv("AMNT_CRYPTO_ISA");
+    if (env == nullptr || std::strcmp(env, "native") == 0)
+        return Isa::Native;
+    if (std::strcmp(env, "scalar") == 0)
+        return Isa::Scalar;
+    Isa isa = Isa::Native;
+    if (std::strcmp(env, "aesni") == 0)
+        isa = Isa::AesNi;
+    else if (std::strcmp(env, "shani") == 0)
+        isa = Isa::ShaNi;
+    else
+        warn("AMNT_CRYPTO_ISA=%s not recognized; using native", env);
+    if (!available(isa)) {
+        warn("AMNT_CRYPTO_ISA=%s not supported on this CPU/build; "
+             "using native",
+             env);
+        isa = Isa::Native;
+    }
+    return isa;
+}
+
+Kernels &
+mutableActive()
+{
+    static Kernels kernels = resolve(isaFromEnv());
+    return kernels;
+}
+
+bool
+batchFromEnv()
+{
+    const char *env = std::getenv("AMNT_CRYPTO_BATCH");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+bool &
+mutableBatch()
+{
+    static bool enabled = batchFromEnv();
+    return enabled;
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar: return "scalar";
+      case Isa::AesNi: return "aesni";
+      case Isa::ShaNi: return "shani";
+      case Isa::Native: return "native";
+    }
+    return "?";
+}
+
+const CpuCaps &
+cpuCaps()
+{
+    static const CpuCaps caps = detectCaps();
+    return caps;
+}
+
+const Kernels &
+active()
+{
+    return mutableActive();
+}
+
+bool
+available(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+      case Isa::Native:
+        return true;
+      case Isa::AesNi:
+        return cpuCaps().aesni;
+      case Isa::ShaNi:
+        return cpuCaps().shani;
+    }
+    return false;
+}
+
+bool
+select(Isa isa)
+{
+    if (!available(isa))
+        return false;
+    mutableActive() = resolve(isa);
+    return true;
+}
+
+bool
+batchEnabled()
+{
+    return mutableBatch();
+}
+
+void
+setBatchEnabled(bool enabled)
+{
+    mutableBatch() = enabled;
+}
+
+} // namespace amnt::crypto::dispatch

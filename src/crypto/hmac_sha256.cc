@@ -16,22 +16,23 @@ HmacSha256::HmacSha256(const void *key, std::size_t key_len)
     } else {
         std::memcpy(k, key, key_len);
     }
-    for (std::size_t i = 0; i < sizeof(k); ++i) {
-        ipad_[i] = k[i] ^ 0x36;
-        opad_[i] = k[i] ^ 0x5c;
-    }
+    std::uint8_t pad[64];
+    for (std::size_t i = 0; i < sizeof(k); ++i)
+        pad[i] = k[i] ^ 0x36;
+    inner_.update(pad, sizeof(pad));
+    for (std::size_t i = 0; i < sizeof(k); ++i)
+        pad[i] = k[i] ^ 0x5c;
+    outer_.update(pad, sizeof(pad));
 }
 
 Sha256Digest
 HmacSha256::mac(const void *data, std::size_t len) const
 {
-    Sha256 inner;
-    inner.update(ipad_, sizeof(ipad_));
+    Sha256 inner = inner_;
     inner.update(data, len);
     const Sha256Digest inner_digest = inner.final();
 
-    Sha256 outer;
-    outer.update(opad_, sizeof(opad_));
+    Sha256 outer = outer_;
     outer.update(inner_digest.data(), inner_digest.size());
     return outer.final();
 }

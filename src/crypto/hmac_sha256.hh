@@ -19,8 +19,12 @@ namespace amnt::crypto
 {
 
 /**
- * Keyed HMAC-SHA-256 instance. The key is absorbed once at
- * construction; each mac() call is then a two-pass SHA-256.
+ * Keyed HMAC-SHA-256 instance. The key schedule is hoisted into the
+ * constructor: the SHA-256 midstates after absorbing the ipad and
+ * opad blocks are computed once, so each mac() clones a midstate
+ * instead of re-compressing 64 bytes of key material per pass. For
+ * the engine's 72-byte messages that removes two of five compression
+ * calls from every MAC.
  */
 class HmacSha256
 {
@@ -35,8 +39,9 @@ class HmacSha256
     std::uint64_t mac64(const void *data, std::size_t len) const;
 
   private:
-    std::uint8_t ipad_[64];
-    std::uint8_t opad_[64];
+    /** Midstates after one compression of ipad / opad respectively. */
+    Sha256 inner_;
+    Sha256 outer_;
 };
 
 } // namespace amnt::crypto

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Internal providers for the ISA-specific kernel entry points.
+ *
+ * Each provider returns the kernel function pointer when the
+ * translation unit was built with the matching ISA flags (CMake adds
+ * them per-file on x86 builds) and nullptr otherwise, so dispatch.cc
+ * links unconditionally on every platform. Callers must still gate on
+ * runtime CPUID via dispatch::cpuCaps().
+ */
+
+#ifndef AMNT_CRYPTO_ISA_KERNELS_HH
+#define AMNT_CRYPTO_ISA_KERNELS_HH
+
+#include "crypto/dispatch.hh"
+
+namespace amnt::crypto::dispatch
+{
+
+/** AES-NI block encryption, or nullptr when not compiled in. */
+AesEncryptFn aesniEncryptKernel();
+
+/** SHA-NI block compression, or nullptr when not compiled in. */
+Sha256CompressFn shaniCompressKernel();
+
+/** AVX2 four-lane SipHash batch, or nullptr when not compiled in. */
+Sip4Fn sipAvx2Kernel();
+
+/** AVX-512VL four-lane SipHash batch (vprolq rotates), or nullptr. */
+Sip4Fn sipAvx512Kernel();
+
+} // namespace amnt::crypto::dispatch
+
+#endif // AMNT_CRYPTO_ISA_KERNELS_HH

@@ -44,50 +44,54 @@ Sha256::reset()
 }
 
 void
-Sha256::processBlock(const std::uint8_t *block)
+sha256CompressScalar(std::uint32_t state[8], const std::uint8_t *blocks,
+                     std::size_t nblocks)
 {
-    std::uint32_t w[64];
-    for (int i = 0; i < 16; ++i)
-        w[i] = load32be(block + 4 * i);
-    for (int i = 16; i < 64; ++i) {
-        const std::uint32_t s0 = rotr32(w[i - 15], 7) ^
-            rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
-        const std::uint32_t s1 = rotr32(w[i - 2], 17) ^
-            rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
-        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    for (std::size_t blk = 0; blk < nblocks; ++blk) {
+        const std::uint8_t *block = blocks + 64 * blk;
+        std::uint32_t w[64];
+        for (int i = 0; i < 16; ++i)
+            w[i] = load32be(block + 4 * i);
+        for (int i = 16; i < 64; ++i) {
+            const std::uint32_t s0 = rotr32(w[i - 15], 7) ^
+                rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+            const std::uint32_t s1 = rotr32(w[i - 2], 17) ^
+                rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+
+        std::uint32_t a = state[0], b = state[1], c = state[2];
+        std::uint32_t d = state[3], e = state[4], f = state[5];
+        std::uint32_t g = state[6], h = state[7];
+
+        for (int i = 0; i < 64; ++i) {
+            const std::uint32_t s1 =
+                rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+            const std::uint32_t ch = (e & f) ^ (~e & g);
+            const std::uint32_t t1 = h + s1 + ch + kRoundConst[i] + w[i];
+            const std::uint32_t s0 =
+                rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+            const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+            const std::uint32_t t2 = s0 + maj;
+            h = g;
+            g = f;
+            f = e;
+            e = d + t1;
+            d = c;
+            c = b;
+            b = a;
+            a = t1 + t2;
+        }
+
+        state[0] += a;
+        state[1] += b;
+        state[2] += c;
+        state[3] += d;
+        state[4] += e;
+        state[5] += f;
+        state[6] += g;
+        state[7] += h;
     }
-
-    std::uint32_t a = state_[0], b = state_[1], c = state_[2];
-    std::uint32_t d = state_[3], e = state_[4], f = state_[5];
-    std::uint32_t g = state_[6], h = state_[7];
-
-    for (int i = 0; i < 64; ++i) {
-        const std::uint32_t s1 =
-            rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
-        const std::uint32_t ch = (e & f) ^ (~e & g);
-        const std::uint32_t t1 = h + s1 + ch + kRoundConst[i] + w[i];
-        const std::uint32_t s0 =
-            rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
-        const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-        const std::uint32_t t2 = s0 + maj;
-        h = g;
-        g = f;
-        f = e;
-        e = d + t1;
-        d = c;
-        c = b;
-        b = a;
-        a = t1 + t2;
-    }
-
-    state_[0] += a;
-    state_[1] += b;
-    state_[2] += c;
-    state_[3] += d;
-    state_[4] += e;
-    state_[5] += f;
-    state_[6] += g;
-    state_[7] += h;
 }
 
 void
@@ -102,14 +106,15 @@ Sha256::update(const void *data, std::size_t len)
         p += take;
         len -= take;
         if (bufferLen_ == sizeof(buffer_)) {
-            processBlock(buffer_);
+            compress_(state_, buffer_, 1);
             bufferLen_ = 0;
         }
     }
-    while (len >= sizeof(buffer_)) {
-        processBlock(p);
-        p += sizeof(buffer_);
-        len -= sizeof(buffer_);
+    if (len >= sizeof(buffer_)) {
+        const std::size_t full = len / sizeof(buffer_);
+        compress_(state_, p, full);
+        p += full * sizeof(buffer_);
+        len -= full * sizeof(buffer_);
     }
     if (len > 0) {
         std::memcpy(buffer_, p, len);

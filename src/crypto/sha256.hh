@@ -14,11 +14,21 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "crypto/dispatch.hh"
+
 namespace amnt::crypto
 {
 
 /** A 32-byte SHA-256 digest. */
 using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/**
+ * Portable SHA-256 compression over @p nblocks consecutive 64-byte
+ * blocks (the scalar kernel behind dispatch::Sha256CompressFn).
+ */
+void sha256CompressScalar(std::uint32_t state[8],
+                          const std::uint8_t *blocks,
+                          std::size_t nblocks);
 
 /**
  * Incremental SHA-256 context. Typical use:
@@ -31,7 +41,8 @@ using Sha256Digest = std::array<std::uint8_t, 32>;
 class Sha256
 {
   public:
-    Sha256() { reset(); }
+    /** Captures the active dispatch kernel for its lifetime. */
+    Sha256() : compress_(dispatch::active().sha256Compress) { reset(); }
 
     /** Reset to the initial state. */
     void reset();
@@ -46,8 +57,7 @@ class Sha256
     static Sha256Digest digest(const void *data, std::size_t len);
 
   private:
-    void processBlock(const std::uint8_t *block);
-
+    dispatch::Sha256CompressFn compress_;
     std::uint32_t state_[8];
     std::uint64_t totalBytes_;
     std::uint8_t buffer_[64];

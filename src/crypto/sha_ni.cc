@@ -1,0 +1,139 @@
+/**
+ * @file
+ * SHA-256 block compression with the SHA-NI instruction set.
+ *
+ * `_mm_sha256rnds2_epu32` executes two FIPS 180-4 rounds and the
+ * msg1/msg2 instructions implement the message schedule recurrence,
+ * so the kernel is bit-identical to the scalar compression in
+ * sha256.cc. State is carried in the (ABEF, CDGH) register split the
+ * instructions expect; the shuffle prologue/epilogue converts from
+ * and to the canonical a..h word order.
+ *
+ * The schedule follows the standard rotation: W-block i (four W
+ * words) is msg2(msg1(W[i-4], W[i-3]) + alignr(W[i-1], W[i-2], 4),
+ * W[i-1]), kept in a 4-register ring.
+ *
+ * Built with -msha -msse4.1 -mssse3 on x86 (see src/CMakeLists.txt);
+ * elsewhere the provider returns nullptr and dispatch stays scalar.
+ */
+
+#include "crypto/isa_kernels.hh"
+
+#if defined(__SHA__) && defined(__SSE4_1__) && defined(__SSSE3__)
+
+#include <immintrin.h>
+
+namespace amnt::crypto::dispatch
+{
+
+namespace
+{
+
+alignas(16) constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+void
+shaniCompress(std::uint32_t state[8], const std::uint8_t *blocks,
+              std::size_t nblocks)
+{
+    // Big-endian 32-bit loads within each 128-bit message lane.
+    const __m128i kByteSwap =
+        _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+    // Canonical {a,b,c,d} / {e,f,g,h} -> {ABEF} / {CDGH}.
+    __m128i tmp =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(state));
+    __m128i state1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(state + 4));
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);       // CDAB
+    state1 = _mm_shuffle_epi32(state1, 0x1B); // EFGH
+    __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+    for (std::size_t blk = 0; blk < nblocks; ++blk) {
+        const std::uint8_t *data = blocks + 64 * blk;
+        const __m128i abef_save = state0;
+        const __m128i cdgh_save = state1;
+        __m128i w[4];
+
+        // Rounds 0-15: message words straight from the block.
+        for (int i = 0; i < 4; ++i) {
+            w[i] = _mm_shuffle_epi8(
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(data + 16 * i)),
+                kByteSwap);
+            __m128i m = _mm_add_epi32(
+                w[i], _mm_load_si128(
+                          reinterpret_cast<const __m128i *>(kK + 4 * i)));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+            m = _mm_shuffle_epi32(m, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, m);
+        }
+
+        // Rounds 16-63: schedule through the 4-register ring.
+        for (int i = 4; i < 16; ++i) {
+            const __m128i w1 = w[(i - 3) & 3];
+            const __m128i w2 = w[(i - 2) & 3];
+            const __m128i w3 = w[(i - 1) & 3];
+            __m128i wi = _mm_sha256msg1_epu32(w[i & 3], w1);
+            wi = _mm_add_epi32(wi, _mm_alignr_epi8(w3, w2, 4));
+            wi = _mm_sha256msg2_epu32(wi, w3);
+            w[i & 3] = wi;
+            __m128i m = _mm_add_epi32(
+                wi, _mm_load_si128(
+                        reinterpret_cast<const __m128i *>(kK + 4 * i)));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+            m = _mm_shuffle_epi32(m, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, m);
+        }
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+    }
+
+    // {ABEF} / {CDGH} -> canonical word order.
+    tmp = _mm_shuffle_epi32(state0, 0x1B);    // FEBA
+    state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+    state1 = _mm_alignr_epi8(state1, tmp, 8);    // HGFE
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(state), state0);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(state + 4), state1);
+}
+
+} // namespace
+
+Sha256CompressFn
+shaniCompressKernel()
+{
+    return &shaniCompress;
+}
+
+} // namespace amnt::crypto::dispatch
+
+#else // !(__SHA__ && __SSE4_1__ && __SSSE3__)
+
+namespace amnt::crypto::dispatch
+{
+
+Sha256CompressFn
+shaniCompressKernel()
+{
+    return nullptr;
+}
+
+} // namespace amnt::crypto::dispatch
+
+#endif

@@ -11,10 +11,17 @@ AnubisEngine::recover()
     // Restore every shadowed block: these are precisely the blocks
     // whose NVM copies may be stale (they were cached, possibly
     // dirty, at the crash). After restoration NVM is fully current.
+    // The persisted-MAC recompute for the whole table is batched.
     const std::uint64_t entries = shadow_.size();
+    std::vector<Addr> addrs;
+    std::vector<const mem::Block *> blocks;
+    addrs.reserve(shadow_.size());
+    blocks.reserve(shadow_.size());
     for (const auto &kv : shadow_) {
-        persistBytes(kv.first, kv.second);
+        addrs.push_back(kv.first);
+        blocks.push_back(&kv.second);
     }
+    persistBytesMany(addrs.data(), blocks.data(), addrs.size());
 
     // Functional verification: rebuild and compare with the NV root.
     RecoveryReport scratch;

@@ -36,10 +36,15 @@ StrictEngine::persistPolicy(const WriteContext &ctx)
         hook += ensureResident(map_.nodeAddrOf(ref), misses);
     Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
 
-    writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
-    writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    // One batched write-through of the ordered persist set: counter,
+    // HMAC, then the whole ancestral path.
+    Addr wt[2 + bmt::Geometry::kMaxPathNodes];
+    std::size_t nwt = 0;
+    wt[nwt++] = map_.counterBase() + ctx.counterIdx * kBlockSize;
+    wt[nwt++] = map_.hmacAddrOf(ctx.dataAddr);
     for (const auto &ref : path)
-        writeThrough(map_.nodeAddrOf(ref));
+        wt[nwt++] = map_.nodeAddrOf(ref);
+    writeThroughMany(wt, nwt);
 
     lat += persistCost(3 + static_cast<unsigned>(path.size()));
     return lat + hook;
@@ -153,21 +158,30 @@ OsirisEngine::recover()
                 const unsigned minor_slot = static_cast<unsigned>(
                     data_block % kBlocksPerPage);
                 const std::uint8_t base = rec.cb.minors[minor_slot];
-                bool matched = false;
+                // Trial-MAC every stop-loss candidate in one batched
+                // burst, then pick the first match (same result as the
+                // early-exit scalar loop).
+                crypto::MacRequest treqs[kMinorCounterMax + 1u];
+                unsigned ncand = 0;
                 for (unsigned d = 0; d <= config_.osirisStopLoss; ++d) {
                     const unsigned v = base + d;
                     if (v > kMinorCounterMax)
                         break;
                     const std::uint64_t tweak =
                         (daddr << 16) ^ (rec.cb.major << 7) ^ v;
-                    const std::uint64_t mac =
-                        cipher_p == nullptr
-                            ? crypto_.hash->mac64("", 0, tweak)
-                            : crypto_.hash->mac64(cipher_p, kBlockSize,
-                                                  tweak);
-                    if (mac == entry) {
+                    if (cipher_p == nullptr)
+                        treqs[ncand] = {"", 0, tweak};
+                    else
+                        treqs[ncand] = {cipher_p, kBlockSize, tweak};
+                    ++ncand;
+                }
+                std::uint64_t cand[kMinorCounterMax + 1u];
+                crypto_.hash->mac64xN(treqs, ncand, cand);
+                bool matched = false;
+                for (unsigned d = 0; d < ncand; ++d) {
+                    if (cand[d] == entry) {
                         rec.cb.minors[minor_slot] =
-                            static_cast<std::uint8_t>(v);
+                            static_cast<std::uint8_t>(base + d);
                         matched = true;
                         break;
                     }

@@ -101,13 +101,17 @@ BmfEngine::persistPolicy(const WriteContext &ctx)
     }
     Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
 
-    writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
-    writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    // One batched write-through of the persist set below the cover.
+    Addr wt[2 + bmt::Geometry::kMaxPathNodes];
+    std::size_t nwt = 0;
+    wt[nwt++] = map_.counterBase() + ctx.counterIdx * kBlockSize;
+    wt[nwt++] = map_.hmacAddrOf(ctx.dataAddr);
     for (const auto &ref : path) {
         if (ref.level <= cover_level)
             break;
-        writeThrough(map_.nodeAddrOf(ref));
+        wt[nwt++] = map_.nodeAddrOf(ref);
     }
+    writeThroughMany(wt, nwt);
     refreshEntry(cover);
 
     lat += persistCost(3 + below);
@@ -173,11 +177,14 @@ BmfEngine::adapt()
                 return; // would undo the prune we are about to do
             // The children leave the NV cache: persist their latest
             // values so nothing below the new covering root is stale.
+            Addr child_wt[kTreeArity];
+            std::size_t n_child = 0;
             for (const auto &e : roots_) {
                 if (e.ref.level == parent.level + 1 &&
                     bmt::Geometry::parentOf(e.ref) == parent)
-                    writeThrough(map_.nodeAddrOf(e.ref));
+                    child_wt[n_child++] = map_.nodeAddrOf(e.ref);
             }
+            writeThroughMany(child_wt, n_child);
             std::erase_if(roots_, [&](const RootEntry &e) {
                 return e.ref.level == parent.level + 1 &&
                        bmt::Geometry::parentOf(e.ref) == parent;

@@ -104,6 +104,45 @@ MemoryEngine::persistBytes(Addr maddr, const mem::Block &bytes)
             crypto_.hash->mac64(bytes.data(), bytes.size(), maddr);
 }
 
+namespace
+{
+
+/** Chunk size for the batched persist paths (stack buffers only). */
+constexpr std::size_t kPersistBatch = 64;
+
+} // namespace
+
+void
+MemoryEngine::persistBytesMany(const Addr *addrs,
+                               const mem::Block *const *blocks,
+                               std::size_t n)
+{
+    while (n > 0) {
+        const std::size_t chunk = std::min(n, kPersistBatch);
+        crypto::MacRequest reqs[kPersistBatch];
+        std::size_t pos[kPersistBatch];
+        std::size_t m = 0;
+        for (std::size_t k = 0; k < chunk; ++k) {
+            nvm_->writeBlock(addrs[k], *blocks[k]);
+            if (blockIsZero(*blocks[k])) {
+                persistedMac_.erase(addrs[k]);
+            } else {
+                reqs[m] = {blocks[k]->data(), blocks[k]->size(),
+                           addrs[k]};
+                pos[m] = k;
+                ++m;
+            }
+        }
+        std::uint64_t macs[kPersistBatch];
+        crypto_.hash->mac64xN(reqs, m, macs);
+        for (std::size_t j = 0; j < m; ++j)
+            persistedMac_[addrs[pos[j]]] = macs[j];
+        addrs += chunk;
+        blocks += chunk;
+        n -= chunk;
+    }
+}
+
 void
 MemoryEngine::verifyFetched(Addr maddr, const mem::Block &bytes)
 {
@@ -239,6 +278,33 @@ MemoryEngine::writeThrough(Addr maddr)
     onMetaUpdate(maddr);
 }
 
+void
+MemoryEngine::writeThroughMany(const Addr *addrs, std::size_t n)
+{
+    // latestBytes is unaffected by persists of other metadata blocks,
+    // so snapshotting the whole chunk up front and batching the MACs
+    // is state-identical to n scalar writeThrough calls.
+    while (n > 0) {
+        const std::size_t chunk = std::min(n, kPersistBatch);
+        Addr a[kPersistBatch];
+        mem::Block bufs[kPersistBatch];
+        const mem::Block *ptrs[kPersistBatch];
+        for (std::size_t k = 0; k < chunk; ++k) {
+            a[k] = blockAddr(blockOf(addrs[k]));
+            ++*persistWrites_;
+            bufs[k] = latestBytes(a[k]);
+            ptrs[k] = &bufs[k];
+        }
+        persistBytesMany(a, ptrs, chunk);
+        for (std::size_t k = 0; k < chunk; ++k) {
+            mcache_.clean(a[k]);
+            onMetaUpdate(a[k]);
+        }
+        addrs += chunk;
+        n -= chunk;
+    }
+}
+
 std::vector<bmt::NodeRef>
 MemoryEngine::pathOf(std::uint64_t counterIdx) const
 {
@@ -310,34 +376,82 @@ MemoryEngine::reencryptPage(std::uint64_t counterIdx)
     stats_.inc("overflow_reencrypts");
     const Addr page_base = counterIdx * kPageSize;
     const bmt::CounterBlock &cb = tree_->counter(counterIdx);
-    std::uint64_t blocks_touched = 0;
+
+    // Gather the page's touched blocks (functional plane: only
+    // ever-written blocks have plaintext to re-encrypt).
+    Addr addrs[kBlocksPerPage];
+    unsigned slots[kBlocksPerPage];
+    const mem::Block *plains[kBlocksPerPage];
+    std::size_t m = 0;
     for (std::uint64_t b = 0; b < kBlocksPerPage; ++b) {
         const Addr baddr = page_base + b * kBlockSize;
         if (config_.trackContents) {
             auto it = plaintext_.find(blockOf(baddr));
             if (it == plaintext_.end())
                 continue; // never written: nothing to re-encrypt
-            mem::Block cipher;
-            crypto_.enc->xorPad(baddr, cb.major,
-                                cb.minors[static_cast<unsigned>(b)],
-                                it->second.data(), cipher.data());
-            nvm_->writeBlock(baddr, cipher);
+            plains[m] = &it->second;
         } else {
             nvm_->touchRead(baddr);
             nvm_->touchWrite(baddr);
+            plains[m] = nullptr;
         }
-        updateHmacEntry(baddr);
-        ++blocks_touched;
+        addrs[m] = baddr;
+        slots[m] = static_cast<unsigned>(b);
+        ++m;
     }
+
+    // Re-encrypt under the bumped counter: one batched pad generation
+    // for the whole page, XORed into ciphertext in place.
+    std::uint8_t ciphers[kBlocksPerPage * kBlockSize];
+    if (config_.trackContents && m > 0) {
+        crypto::PadRequest preqs[kBlocksPerPage];
+        for (std::size_t k = 0; k < m; ++k)
+            preqs[k] = {addrs[k], cb.major, cb.minors[slots[k]]};
+        crypto_.enc->padxN(preqs, m, ciphers);
+        for (std::size_t k = 0; k < m; ++k) {
+            std::uint8_t *c = ciphers + k * kBlockSize;
+            const mem::Block &plain = *plains[k];
+            for (std::size_t i = 0; i < kBlockSize; ++i)
+                c[i] ^= plain[i];
+            mem::Block out;
+            std::memcpy(out.data(), c, kBlockSize);
+            nvm_->writeBlock(addrs[k], out);
+        }
+    }
+
+    // HMAC entries for the page: one batched MAC burst.
+    std::uint64_t macs[kBlocksPerPage];
+    crypto::MacRequest mreqs[kBlocksPerPage];
+    for (std::size_t k = 0; k < m; ++k) {
+        const std::uint64_t tweak =
+            (addrs[k] << 16) ^ (cb.major << 7) ^ cb.minors[slots[k]];
+        if (config_.trackContents)
+            mreqs[k] = {ciphers + k * kBlockSize, kBlockSize, tweak};
+        else
+            mreqs[k] = {"", 0, tweak};
+    }
+    crypto_.hash->mac64xN(mreqs, m, macs);
+    for (std::size_t k = 0; k < m; ++k) {
+        const Addr haddr = map_.hmacAddrOf(addrs[k]);
+        auto [it, fresh] = hmacLatest_.try_emplace(haddr);
+        if (fresh)
+            nvm_->peek(haddr, it->second); // seed with persisted entries
+        store64le(it->second.data() +
+                      mem::MemoryMap::hmacOffsetOf(addrs[k]),
+                  macs[k]);
+    }
+
     // Persist every HMAC block of the page and the counter block:
     // the re-encryption must be atomic with the counter bump.
+    Addr wt[kBlocksPerPage / kTreeArity + 1];
     for (std::uint64_t h = 0; h < kBlocksPerPage / kTreeArity; ++h)
-        writeThrough(map_.hmacAddrOf(page_base + h * kTreeArity *
-                                     kBlockSize));
-    writeThrough(map_.counterBase() + counterIdx * kBlockSize);
+        wt[h] = map_.hmacAddrOf(page_base + h * kTreeArity * kBlockSize);
+    wt[kBlocksPerPage / kTreeArity] =
+        map_.counterBase() + counterIdx * kBlockSize;
+    writeThroughMany(wt, kBlocksPerPage / kTreeArity + 1);
 
     // Pipelined burst cost: reads and writes of the page stream.
-    return static_cast<Cycle>(blocks_touched / 8 + 1) *
+    return static_cast<Cycle>(m / 8 + 1) *
            (config_.nvmReadCycles + config_.nvmWriteCycles);
 }
 
@@ -514,10 +628,17 @@ MemoryEngine::rebuildAndVerify(RecoveryReport &report)
                          report.nodesRecomputed;
     report.blocksWritten += report.nodesRecomputed;
 
-    // Recomputed nodes become the new persisted state.
-    tree_->forEachNode([this](bmt::NodeRef ref, const mem::Block &b) {
-        persistBytes(map_.nodeAddrOf(ref), b);
+    // Recomputed nodes become the new persisted state; MACs for the
+    // whole rebuilt node set go out in batched bursts.
+    std::vector<Addr> naddrs;
+    std::vector<const mem::Block *> nblocks;
+    naddrs.reserve(tree_->touchedNodes());
+    nblocks.reserve(tree_->touchedNodes());
+    tree_->forEachNode([&](bmt::NodeRef ref, const mem::Block &b) {
+        naddrs.push_back(map_.nodeAddrOf(ref));
+        nblocks.push_back(&b);
     });
+    persistBytesMany(naddrs.data(), nblocks.data(), naddrs.size());
 
     // Restore architectural HMAC state from (persisted) NVM.
     hmacLatest_.clear();

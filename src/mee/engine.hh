@@ -253,8 +253,25 @@ class MemoryEngine
     /** Persist the latest bytes of @p maddr and clean its line. */
     void writeThrough(Addr maddr);
 
+    /**
+     * Batch writeThrough of @p n metadata addresses: identical final
+     * state and statistics, but all persisted-block MACs go through
+     * one HashEngine::mac64xN burst. Persist policies hand their full
+     * ordered write set (counter + HMAC + path nodes) here.
+     */
+    void writeThroughMany(const Addr *addrs, std::size_t n);
+
     /** Write metadata bytes to NVM and record their persisted MAC. */
     void persistBytes(Addr maddr, const mem::Block &bytes);
+
+    /**
+     * Batch persistBytes: addrs[i] receives *blocks[i]. The persisted
+     * MACs are computed with one batched burst per chunk; used by the
+     * bulk restore paths (recovery rebuild, Anubis shadow restore).
+     */
+    void persistBytesMany(const Addr *addrs,
+                          const mem::Block *const *blocks,
+                          std::size_t n);
 
     /** Latest architectural bytes of a metadata block. */
     mem::Block latestBytes(Addr maddr) const;
