@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "fault/fault.hh"
 
 namespace amnt::core
 {
@@ -50,14 +51,13 @@ AmntEngine::persistOutside(const WriteContext &ctx)
         hook += ensureResident(map_.nodeAddrOf(ref), misses);
     Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
 
-    // One batched write-through of the ordered persist set.
-    Addr wt[2 + bmt::Geometry::kMaxPathNodes];
-    std::size_t nwt = 0;
-    wt[nwt++] = map_.counterBase() + ctx.counterIdx * kBlockSize;
-    wt[nwt++] = map_.hmacAddrOf(ctx.dataAddr);
-    for (const auto &ref : path)
-        wt[nwt++] = map_.nodeAddrOf(ref);
-    writeThroughMany(wt, nwt);
+    // Counter and HMAC persist atomically with the data write; the
+    // ancestral path follows in postCommit (recomputable nodes, one
+    // crash point each — see StrictEngine).
+    const Addr wt[2] = {map_.counterBase() +
+                            ctx.counterIdx * kBlockSize,
+                        map_.hmacAddrOf(ctx.dataAddr)};
+    writeThroughMany(wt, 2);
 
     lat += persistCost(3 + static_cast<unsigned>(path.size()));
     return lat + hook;
@@ -82,15 +82,33 @@ AmntEngine::persistPolicy(const WriteContext &ctx)
     // Hot-region tracking is off the authentication critical path.
     history_.record(region);
 
-    const Cycle lat = region == region_ ? persistInside(ctx)
-                                        : persistOutside(ctx);
+    return region == region_ ? persistInside(ctx)
+                             : persistOutside(ctx);
+}
+
+Cycle
+AmntEngine::postCommit(const WriteContext &ctx)
+{
+    // Outside-subtree writes persist their ancestral path here, after
+    // the commit closed. region_ is still the value persistPolicy
+    // dispatched on: movement only happens below, at the interval
+    // boundary.
+    if (map_.geometry().regionOf(ctx.counterIdx,
+                                 config_.amntSubtreeLevel) != region_) {
+        pathOf(ctx.counterIdx, pathScratch_);
+        Addr wt[bmt::Geometry::kMaxPathNodes];
+        std::size_t nwt = 0;
+        for (const auto &ref : pathScratch_)
+            wt[nwt++] = map_.nodeAddrOf(ref);
+        writeThroughMany(wt, nwt);
+    }
 
     if (++writesThisInterval_ >= config_.amntInterval) {
         writesThisInterval_ = 0;
         considerMovement();
         history_.reset(region_);
     }
-    return lat;
+    return 0; // charged in persistOutside's persistCost
 }
 
 void
@@ -146,6 +164,11 @@ AmntEngine::moveSubtreeTo(std::uint64_t new_region)
     }
     writeThroughMany(anchor, n_anchor);
 
+    // Retargeting is one atomic NV-register transaction: the region
+    // selector and the subtree-root register value switch together (a
+    // crash between them would anchor the new region with the old
+    // region's root hash and falsely fail recovery).
+    fault::CommitScope retarget(nvm_->faultDomain());
     region_ = new_region;
     refreshSubtreeRegister();
 }

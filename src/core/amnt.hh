@@ -89,6 +89,13 @@ class AmntEngine : public mee::MemoryEngine
     Cycle persistPolicy(const WriteContext &ctx) override;
 
     /**
+     * Outside-subtree ancestral-path persists (recomputable nodes)
+     * and the interval's movement check; neither is atomic with the
+     * data write's commit.
+     */
+    Cycle postCommit(const WriteContext &ctx) override;
+
+    /**
      * Freshness propagation from dirty evictions: parents inside the
      * fast subtree stay lazy; parents outside it (including the
      * ancestors of the subtree root) are written through so that the

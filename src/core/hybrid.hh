@@ -89,6 +89,18 @@ class HybridEngine
     mem::NvmDevice &scmDevice() { return *scmNvm_; }
     mem::NvmDevice &dramDevice() { return *dramNvm_; }
 
+    /**
+     * Attach fault injection to the persistence domain. Only the SCM
+     * partition has one: DRAM is volatile by definition, so its
+     * device writes are not persist ops and enumerate no crash
+     * points.
+     */
+    void
+    setFaultDomain(fault::FaultDomain *domain)
+    {
+        scmNvm_->setFaultDomain(domain);
+    }
+
   private:
     HybridConfig config_;
     std::unique_ptr<mem::NvmDevice> scmNvm_;

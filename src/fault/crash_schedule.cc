@@ -1,0 +1,387 @@
+#include "fault/crash_schedule.hh"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/env.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "core/amnt.hh"
+#include "core/hybrid.hh"
+#include "fault/fault.hh"
+
+namespace amnt::fault
+{
+
+namespace
+{
+
+/** One replayable access of the seeded workload. */
+struct Op
+{
+    bool isWrite = false;
+    Addr addr = 0;
+    std::uint64_t pattern = 0; ///< seed of the 64 B payload
+    bool scm = true;           ///< false: hybrid DRAM partition
+};
+
+/** Expand a pattern seed into a 64 B payload. */
+mem::Block
+patternBlock(std::uint64_t seed)
+{
+    Rng rng(seed);
+    mem::Block b;
+    for (auto &byte : b)
+        byte = static_cast<std::uint8_t>(rng.next());
+    return b;
+}
+
+/** The fixed workload: identical for the count pass and every replay. */
+std::vector<Op>
+makeWorkload(const ScheduleConfig &cfg)
+{
+    if (cfg.pages * kPageSize > cfg.mee.dataBytes)
+        panic("crash-schedule footprint exceeds dataBytes");
+    if (cfg.blocksPerPage == 0 || cfg.blocksPerPage > kBlocksPerPage)
+        panic("crash-schedule blocksPerPage outside [1, %u]",
+              static_cast<unsigned>(kBlocksPerPage));
+    Rng rng(cfg.workloadSeed);
+    std::vector<Op> ops(cfg.workloadOps);
+    for (unsigned i = 0; i < cfg.workloadOps; ++i) {
+        Op &op = ops[i];
+        op.isWrite = rng.chance(cfg.writeFraction);
+        op.addr = rng.below(cfg.pages) * kPageSize +
+                  rng.below(cfg.blocksPerPage) * kBlockSize;
+        op.pattern = rng.next();
+        // Hybrid machines interleave DRAM traffic: every fourth access
+        // targets the volatile partition. Those are excluded from the
+        // oracle — DRAM contents are lost at a crash by definition.
+        if (cfg.hybrid && i % 4 == 3) {
+            op.scm = false;
+            op.addr += cfg.mee.dataBytes;
+        }
+    }
+    return ops;
+}
+
+/** Uniform driver over a flat engine or the hybrid controller. */
+class Harness
+{
+  public:
+    explicit Harness(const ScheduleConfig &cfg)
+    {
+        mee::MeeConfig m = cfg.mee;
+        m.trackContents = true; // the oracle needs functional contents
+        if (cfg.hybrid) {
+            core::HybridConfig hc;
+            hc.scmBytes = m.dataBytes;
+            hc.dramBytes = m.dataBytes;
+            hc.mee = m;
+            hybrid_ = std::make_unique<core::HybridEngine>(hc);
+        } else {
+            nvm_ = std::make_unique<mem::NvmDevice>(
+                mem::MemoryMap(m.dataBytes).deviceBytes());
+            engine_ = core::makeEngine(cfg.protocol, m, *nvm_);
+        }
+    }
+
+    void
+    attach(FaultDomain *domain)
+    {
+        if (hybrid_ != nullptr)
+            hybrid_->setFaultDomain(domain);
+        else
+            nvm_->setFaultDomain(domain);
+    }
+
+    Cycle
+    write(Addr addr, const std::uint8_t *data)
+    {
+        return hybrid_ != nullptr ? hybrid_->write(addr, data)
+                                  : engine_->write(addr, data);
+    }
+
+    Cycle
+    read(Addr addr, std::uint8_t *out = nullptr)
+    {
+        return hybrid_ != nullptr ? hybrid_->read(addr, out)
+                                  : engine_->read(addr, out);
+    }
+
+    void
+    crash()
+    {
+        if (hybrid_ != nullptr)
+            hybrid_->crash();
+        else
+            engine_->crash();
+    }
+
+    mee::RecoveryReport
+    recover()
+    {
+        return hybrid_ != nullptr ? hybrid_->recover()
+                                  : engine_->recover();
+    }
+
+    std::uint64_t
+    violations() const
+    {
+        return hybrid_ != nullptr ? hybrid_->violations()
+                                  : engine_->violations();
+    }
+
+    /** The persistent-side engine the oracle inspects. */
+    mee::MemoryEngine &
+    scmEngine()
+    {
+        return hybrid_ != nullptr
+                   ? static_cast<mee::MemoryEngine &>(hybrid_->scm())
+                   : *engine_;
+    }
+
+    /** The persistent-side device (tamper probes). */
+    mem::NvmDevice &
+    scmDevice()
+    {
+        return hybrid_ != nullptr ? hybrid_->scmDevice() : *nvm_;
+    }
+
+  private:
+    std::unique_ptr<mem::NvmDevice> nvm_;
+    std::unique_ptr<mee::MemoryEngine> engine_;
+    std::unique_ptr<core::HybridEngine> hybrid_;
+};
+
+/**
+ * Replay @p ops until the armed boundary fires (or the workload ends,
+ * which is also how the counting pass runs to completion).
+ * @param committed Receives every SCM data write whose commit group
+ *        closed before the crash, in program order.
+ * @return true when the armed crash point fired.
+ */
+bool
+replay(Harness &h, const FaultDomain &domain,
+       const std::vector<Op> &ops, std::vector<const Op *> &committed)
+{
+    for (const Op &op : ops) {
+        const std::uint64_t closed_before = domain.commitsClosed();
+        try {
+            if (op.isWrite)
+                h.write(op.addr, patternBlock(op.pattern).data());
+            else
+                h.read(op.addr);
+        } catch (const CrashInjected &) {
+            // The in-flight op committed iff its commit group closed
+            // before the boundary fired — the crash then landed in
+            // the op's deferred postCommit work (stop-loss persists,
+            // path write-throughs, adaptation, movement).
+            if (op.isWrite && op.scm &&
+                domain.commitsClosed() > closed_before)
+                committed.push_back(&op);
+            return true;
+        }
+        if (op.isWrite && op.scm)
+            committed.push_back(&op);
+    }
+    return false;
+}
+
+/** Inject a crash at @p point, recover, and run the full oracle. */
+BoundaryOutcome
+runOne(const ScheduleConfig &cfg, const std::vector<Op> &ops,
+       std::uint64_t point)
+{
+    BoundaryOutcome out;
+    out.point = point;
+
+    Harness h(cfg);
+    FaultDomain domain;
+    h.attach(&domain);
+    domain.arm(point);
+
+    std::vector<const Op *> committed;
+    out.fired = replay(h, domain, ops, committed);
+    if (!out.fired) {
+        out.detail = "armed boundary never fired: replay diverged "
+                     "from the count pass";
+        return out;
+    }
+
+    // Crash and recover. The domain disarmed itself when it fired, so
+    // recovery and the oracle's own persists run freely.
+    h.crash();
+    const mee::RecoveryReport rec = h.recover();
+    out.recovered = rec.success;
+    if (!out.recovered) {
+        out.detail = "recovery failed (" + rec.detail + ")";
+        return out;
+    }
+
+    // Contents oracle: the last committed payload of every durably
+    // committed block must decrypt bit-exactly, with zero violations.
+    std::unordered_map<Addr, std::uint64_t> last;
+    for (const Op *op : committed)
+        last[op->addr] = op->pattern;
+    out.contentsOk = true;
+    for (const Op *op : committed) {
+        if (last.at(op->addr) != op->pattern)
+            continue; // superseded by a later committed write
+        const mem::Block expect = patternBlock(op->pattern);
+        mem::Block got{};
+        h.read(op->addr, got.data());
+        if (got != expect) {
+            out.contentsOk = false;
+            out.detail = "committed block at address " +
+                         std::to_string(op->addr) +
+                         " lost or corrupted after recovery";
+            break;
+        }
+    }
+    if (out.contentsOk && h.violations() != 0) {
+        out.contentsOk = false;
+        out.detail = "integrity violations while reading committed "
+                     "blocks back";
+    }
+    if (!out.contentsOk)
+        return out;
+
+    // Counter differential: a Volatile reference engine replaying only
+    // the committed writes must agree with the recovered engine on
+    // every counter block (both directions, so neither lost nor
+    // phantom counters pass).
+    mee::MeeConfig ref_cfg = cfg.mee;
+    ref_cfg.trackContents = true;
+    mem::NvmDevice ref_nvm(
+        mem::MemoryMap(ref_cfg.dataBytes).deviceBytes());
+    const auto ref =
+        core::makeEngine(mee::Protocol::Volatile, ref_cfg, ref_nvm);
+    for (const Op *op : committed)
+        ref->write(op->addr, patternBlock(op->pattern).data());
+    out.countersMatch = true;
+    const bmt::TreeState &want = ref->treeState();
+    const bmt::TreeState &have = h.scmEngine().treeState();
+    want.forEachCounter(
+        [&](std::uint64_t idx, const bmt::CounterBlock &cb) {
+            if (have.counter(idx) != cb)
+                out.countersMatch = false;
+        });
+    have.forEachCounter(
+        [&](std::uint64_t idx, const bmt::CounterBlock &cb) {
+            if (want.counter(idx) != cb)
+                out.countersMatch = false;
+        });
+    if (!out.countersMatch) {
+        out.detail = "recovered counters diverge from the committed-"
+                     "write reference replay";
+        return out;
+    }
+
+    // Liveness: the recovered engine must accept and serve new writes.
+    const Addr live_addr = 0;
+    const mem::Block live = patternBlock(0x11fe ^ point);
+    h.write(live_addr, live.data());
+    mem::Block live_back{};
+    h.read(live_addr, live_back.data());
+    out.liveness = live_back == live && h.violations() == 0;
+    if (!out.liveness) {
+        out.detail = "post-recovery write/read round trip failed";
+        return out;
+    }
+
+    // Tamper probe: integrity detection must still be armed after
+    // recovery. Target the most recent committed block (or the
+    // liveness block when the crash preceded every write).
+    const Addr probe =
+        committed.empty() ? live_addr : committed.back()->addr;
+    const std::uint64_t viol_before = h.violations();
+    h.scmDevice().tamper(probe, 13, 0x40);
+    h.read(probe);
+    out.tamperDetected = h.violations() > viol_before;
+    if (!out.tamperDetected)
+        out.detail = "post-recovery tamper of a committed block went "
+                     "undetected";
+    return out;
+}
+
+} // namespace
+
+std::string
+ScheduleReport::describeFailures() const
+{
+    std::string s;
+    for (const auto &f : failures) {
+        s += "boundary " + std::to_string(f.point) + ": " + f.detail;
+        s += " [fired=" + std::to_string(f.fired) +
+             " recovered=" + std::to_string(f.recovered) +
+             " contents=" + std::to_string(f.contentsOk) +
+             " counters=" + std::to_string(f.countersMatch) +
+             " tamper=" + std::to_string(f.tamperDetected) +
+             " live=" + std::to_string(f.liveness) + "]";
+        s += " (reproduce: AMNT_FAULT_POINT=" +
+             std::to_string(f.point) + ")\n";
+    }
+    return s;
+}
+
+ScheduleConfig
+applyEnv(ScheduleConfig cfg)
+{
+    cfg.stride = envU64("AMNT_FAULT_STRIDE", cfg.stride);
+    if (cfg.stride == 0)
+        cfg.stride = 1;
+    cfg.sampleSeed = envU64("AMNT_FAULT_SEED", cfg.sampleSeed);
+    if (std::getenv("AMNT_FAULT_POINT") != nullptr)
+        cfg.onlyPoint = envU64("AMNT_FAULT_POINT", 0);
+    return cfg;
+}
+
+ScheduleReport
+runCrashSchedule(const ScheduleConfig &cfg)
+{
+    const std::vector<Op> ops = makeWorkload(cfg);
+    ScheduleReport report;
+
+    // Count pass: enumerate every persist-op boundary once.
+    {
+        Harness h(cfg);
+        FaultDomain domain;
+        h.attach(&domain);
+        domain.startCounting();
+        std::vector<const Op *> committed;
+        replay(h, domain, ops, committed);
+        report.totalBoundaries = domain.events();
+    }
+
+    const std::uint64_t stride = cfg.stride == 0 ? 1 : cfg.stride;
+    std::uint64_t first = 0;
+    if (cfg.sampleSeed != 0 && stride > 1)
+        first = Rng(cfg.sampleSeed).below(stride);
+
+    for (std::uint64_t k = cfg.onlyPoint ? *cfg.onlyPoint : first;
+         k < report.totalBoundaries; k += stride) {
+        BoundaryOutcome out = runOne(cfg, ops, k);
+        ++report.tested;
+        if (!out.ok())
+            report.failures.push_back(std::move(out));
+        if (cfg.onlyPoint)
+            break;
+    }
+    if (cfg.onlyPoint && report.tested == 0) {
+        BoundaryOutcome out;
+        out.point = *cfg.onlyPoint;
+        out.detail = "AMNT_FAULT_POINT beyond the boundary count (" +
+                     std::to_string(report.totalBoundaries) + ")";
+        report.failures.push_back(std::move(out));
+    }
+    return report;
+}
+
+BoundaryOutcome
+runBoundary(const ScheduleConfig &cfg, std::uint64_t point)
+{
+    const std::vector<Op> ops = makeWorkload(cfg);
+    return runOne(cfg, ops, point);
+}
+
+} // namespace amnt::fault

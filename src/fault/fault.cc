@@ -1,0 +1,20 @@
+#include "fault/fault.hh"
+
+namespace amnt::fault
+{
+
+// Out of line: the hot inline paths stay branch-only; numbering and
+// the (cold) throw live here.
+void
+FaultDomain::fire(bool at_commit_open)
+{
+    const std::uint64_t id = nextId_++;
+    if (mode_ == Mode::Armed && id == point_) {
+        // One-shot: recovery and post-crash oracle checks that follow
+        // the injected crash must persist freely.
+        mode_ = Mode::Disarmed;
+        throw CrashInjected(id, at_commit_open);
+    }
+}
+
+} // namespace amnt::fault

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Crash-point fault injection for the persistence domain.
+ *
+ * Every operation that would survive power loss — an NVM block write
+ * or an update of a non-volatile on-chip register/cache — is a
+ * *persist op*. A FaultDomain attached to the persistence domain
+ * assigns each persist-op boundary a stable, monotonically numbered
+ * crash-point ID: replaying a fixed workload enumerates the same IDs
+ * in the same order every time, so a crash schedule can first count
+ * the boundaries and then re-execute the workload once per boundary,
+ * injecting a crash exactly there (see crash_schedule.hh).
+ *
+ * Commit groups. Engines mutate *architectural* (volatile, latest)
+ * state before persisting it; the simulator's NV root register is
+ * computed lazily from that architectural tree. A crash injected
+ * between the architectural update and its persists would therefore
+ * model a register that is "ahead" of NVM — a machine that cannot
+ * exist. Persist sets that hardware makes atomic with their
+ * architectural update (a write's ordered persist burst, an eviction's
+ * shadow-erase + write-back, a subtree retarget's region + register
+ * update) are instead bracketed in a CommitScope: the whole scope is
+ * ONE crash point whose injection fires at scope *open*, before any
+ * mutation, so a suppressed commit never happened at all. Persist ops
+ * outside any scope (deferred counter persists, adaptation flushes,
+ * eviction write-backs during reads) are each their own crash point,
+ * firing before the NVM write applies.
+ *
+ * Hook placement rules for new persist paths are in DESIGN.md §10.
+ */
+
+#ifndef AMNT_FAULT_FAULT_HH
+#define AMNT_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <exception>
+
+namespace amnt::fault
+{
+
+/** Thrown when execution reaches the armed crash point. */
+class CrashInjected : public std::exception
+{
+  public:
+    CrashInjected(std::uint64_t point, bool at_commit_open)
+        : point_(point), atCommitOpen_(at_commit_open)
+    {
+    }
+
+    const char *
+    what() const noexcept override
+    {
+        return "injected crash at persist boundary";
+    }
+
+    /** Crash-point ID that fired (reproduce via AMNT_FAULT_POINT). */
+    std::uint64_t point() const { return point_; }
+
+    /** True when the crash fired at a commit-scope open. */
+    bool atCommitOpen() const { return atCommitOpen_; }
+
+  private:
+    std::uint64_t point_;
+    bool atCommitOpen_;
+};
+
+/**
+ * Crash-point numbering and injection for one persistence domain.
+ * Attach to the domain's NvmDevice (setFaultDomain); engines route
+ * their non-device persist ops (NV register/cache updates) through
+ * the same domain. Disarmed domains cost one predicted branch per
+ * persist op and change no simulated state.
+ */
+class FaultDomain
+{
+  public:
+    enum class Mode
+    {
+        Disarmed, ///< hooks inert (production / golden runs)
+        Counting, ///< number the boundaries, never throw
+        Armed,    ///< throw CrashInjected at boundary point()
+    };
+
+    Mode mode() const { return mode_; }
+
+    /** Begin a counting pass: IDs restart from zero. */
+    void
+    startCounting()
+    {
+        mode_ = Mode::Counting;
+        reset();
+    }
+
+    /** Arm a replay that crashes at boundary @p point. */
+    void
+    arm(std::uint64_t point)
+    {
+        mode_ = Mode::Armed;
+        point_ = point;
+        reset();
+    }
+
+    /** Disable injection (recovery and oracle checks run freely). */
+    void disarm() { mode_ = Mode::Disarmed; }
+
+    /** Boundaries numbered since the last startCounting()/arm(). */
+    std::uint64_t events() const { return nextId_; }
+
+    /** Top-level commit scopes closed since startCounting()/arm(). */
+    std::uint64_t commitsClosed() const { return commitsClosed_; }
+
+    /**
+     * One bare persist op (an NVM block write or NV register update
+     * outside any commit scope). Fires *before* the op applies, so a
+     * suppressed persist leaves the old durable state intact.
+     */
+    void
+    persistPoint()
+    {
+        if (mode_ == Mode::Disarmed || depth_ > 0)
+            return;
+        fire(false);
+    }
+
+    /**
+     * Open a commit group. The group is a single crash point whose
+     * injection fires here, before the caller mutates anything; every
+     * persist op inside is part of the same atomic unit. May throw —
+     * the scope depth is only taken after a successful fire, so an
+     * injected crash leaves the domain balanced.
+     */
+    void
+    beginCommit()
+    {
+        if (depth_ == 0 && mode_ != Mode::Disarmed)
+            fire(true);
+        ++depth_;
+    }
+
+    /** Close a commit group. */
+    void
+    endCommit()
+    {
+        if (--depth_ == 0)
+            ++commitsClosed_;
+    }
+
+  private:
+    void
+    reset()
+    {
+        nextId_ = 0;
+        depth_ = 0;
+        commitsClosed_ = 0;
+    }
+
+    /** Number this boundary; throw if it is the armed point. */
+    void fire(bool at_commit_open);
+
+    Mode mode_ = Mode::Disarmed;
+    std::uint64_t point_ = 0;
+    std::uint64_t nextId_ = 0;
+    std::uint64_t commitsClosed_ = 0;
+    unsigned depth_ = 0;
+};
+
+/**
+ * RAII commit group. Null domains (the common, un-instrumented case)
+ * cost nothing; see FaultDomain::beginCommit for crash semantics.
+ */
+class CommitScope
+{
+  public:
+    explicit CommitScope(FaultDomain *domain) : domain_(domain)
+    {
+        if (domain_ != nullptr)
+            domain_->beginCommit();
+    }
+
+    ~CommitScope()
+    {
+        if (domain_ != nullptr)
+            domain_->endCommit();
+    }
+
+    CommitScope(const CommitScope &) = delete;
+    CommitScope &operator=(const CommitScope &) = delete;
+
+  private:
+    FaultDomain *domain_;
+};
+
+} // namespace amnt::fault
+
+#endif // AMNT_FAULT_FAULT_HH

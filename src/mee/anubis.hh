@@ -52,7 +52,11 @@ class AnubisEngine : public MemoryEngine
     {
         // Slow path: the shadow entry must be persisted before the
         // newly cached block can be trusted — one ordered NVM write
-        // on the critical path per miss.
+        // on the critical path per miss. The shadow write is a
+        // persist op: crash-point instrumented, and suppressed
+        // before the entry lands (the fetched block then simply was
+        // never cached).
+        faultPersistPoint();
         shadow_[maddr] = latestBytes(maddr);
         stats_.inc("shadow_writes");
         return config_.nvmWriteCycles;
@@ -63,6 +67,7 @@ class AnubisEngine : public MemoryEngine
     {
         // Updates to resident blocks refresh the shadow copy; these
         // are posted (coalesced in the write-pending queue).
+        faultPersistPoint();
         shadow_[maddr] = latestBytes(maddr);
         stats_.inc("shadow_writes");
     }
@@ -71,7 +76,10 @@ class AnubisEngine : public MemoryEngine
     onMetaEvict(Addr maddr, bool) override
     {
         // The block leaves the cache (its latest value is written
-        // back by the generic path); drop the shadow entry.
+        // back by the generic path); drop the shadow entry. Runs
+        // inside the eviction commit scope, atomic with the victim's
+        // write-back (see MemoryEngine::handleEviction).
+        faultPersistPoint();
         shadow_.erase(maddr);
         stats_.inc("shadow_writes");
     }

@@ -36,18 +36,29 @@ StrictEngine::persistPolicy(const WriteContext &ctx)
         hook += ensureResident(map_.nodeAddrOf(ref), misses);
     Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
 
-    // One batched write-through of the ordered persist set: counter,
-    // HMAC, then the whole ancestral path.
-    Addr wt[2 + bmt::Geometry::kMaxPathNodes];
-    std::size_t nwt = 0;
-    wt[nwt++] = map_.counterBase() + ctx.counterIdx * kBlockSize;
-    wt[nwt++] = map_.hmacAddrOf(ctx.dataAddr);
-    for (const auto &ref : path)
-        wt[nwt++] = map_.nodeAddrOf(ref);
-    writeThroughMany(wt, nwt);
+    // Counter and HMAC persist atomically with the data write; the
+    // ancestral path follows in postCommit — each node in the ordered
+    // chain is its own crash point, and a lost tail is recomputable
+    // from the (already persisted) counters.
+    const Addr wt[2] = {map_.counterBase() +
+                            ctx.counterIdx * kBlockSize,
+                        map_.hmacAddrOf(ctx.dataAddr)};
+    writeThroughMany(wt, 2);
 
     lat += persistCost(3 + static_cast<unsigned>(path.size()));
     return lat + hook;
+}
+
+Cycle
+StrictEngine::postCommit(const WriteContext &ctx)
+{
+    pathOf(ctx.counterIdx, pathScratch_);
+    Addr wt[bmt::Geometry::kMaxPathNodes];
+    std::size_t nwt = 0;
+    for (const auto &ref : pathScratch_)
+        wt[nwt++] = map_.nodeAddrOf(ref);
+    writeThroughMany(wt, nwt);
+    return 0; // charged in persistPolicy's persistCost
 }
 
 RecoveryReport
@@ -96,13 +107,23 @@ Cycle
 OsirisEngine::persistPolicy(const WriteContext &ctx)
 {
     writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    return persistCost(1);
+}
+
+Cycle
+OsirisEngine::postCommit(const WriteContext &ctx)
+{
+    // Stop-loss: the counter reaches NVM only every N updates (or at
+    // a minor overflow), and NOT atomically with the data write — a
+    // crash on this boundary loses at most stop-loss minor
+    // increments, exactly what recovery re-derives by HMAC trial.
     unsigned &since = sincePersist_[ctx.counterIdx];
     ++since;
     if (ctx.overflowed || since >= config_.osirisStopLoss) {
         writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
         since = 0;
     }
-    return persistCost(1);
+    return 0;
 }
 
 RecoveryReport

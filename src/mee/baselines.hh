@@ -60,6 +60,9 @@ class StrictEngine : public MemoryEngine
 
   protected:
     Cycle persistPolicy(const WriteContext &ctx) override;
+
+    /** Ancestral-path persists (recomputable; not commit-atomic). */
+    Cycle postCommit(const WriteContext &ctx) override;
 };
 
 /** Leaf metadata persistence: counters + HMACs write through. */
@@ -88,6 +91,9 @@ class OsirisEngine : public MemoryEngine
 
   protected:
     Cycle persistPolicy(const WriteContext &ctx) override;
+
+    /** Stop-loss counter persists (deferred; not commit-atomic). */
+    Cycle postCommit(const WriteContext &ctx) override;
 
   private:
     /** Updates since the last persist, per counter block. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "fault/fault.hh"
 
 namespace amnt::mee
 {
@@ -115,12 +116,20 @@ BmfEngine::persistPolicy(const WriteContext &ctx)
     refreshEntry(cover);
 
     lat += persistCost(3 + below);
+    return lat + hook;
+}
 
+Cycle
+BmfEngine::postCommit(const WriteContext &)
+{
+    // Adaptation runs between writes, outside the commit group: a
+    // crash can land before, inside (at each merge/prune boundary),
+    // or after it.
     if (++writesSinceAdapt_ >= config_.bmfInterval) {
         writesSinceAdapt_ = 0;
         adapt();
     }
-    return lat + hook;
+    return 0;
 }
 
 void
@@ -175,6 +184,11 @@ BmfEngine::adapt()
             const bmt::NodeRef parent = geo.nodeOfLinearId(victim_pid);
             if (parent == roots_[hottest].ref)
                 return; // would undo the prune we are about to do
+            // One merge is one atomic NV-cache transaction: the
+            // children's write-throughs and the root-set mutation
+            // must not tear (a crash in between would leave counters
+            // covered by no persistent root).
+            fault::CommitScope merge(nvm_->faultDomain());
             // The children leave the NV cache: persist their latest
             // values so nothing below the new covering root is stale.
             Addr child_wt[kTreeArity];
@@ -211,6 +225,11 @@ BmfEngine::adapt()
                 return;
         }
 
+        // A prune replaces one NV entry with its eight children in a
+        // single atomic NV-cache transaction (pure register-file
+        // update: the children's values come from the architectural
+        // tree, which prune leaves fully covered).
+        fault::CommitScope prune(nvm_->faultDomain());
         const RootEntry victim = roots_[hottest];
         roots_.erase(roots_.begin() +
                      static_cast<std::ptrdiff_t>(hottest));

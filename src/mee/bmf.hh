@@ -49,6 +49,9 @@ class BmfEngine : public MemoryEngine
   protected:
     Cycle persistPolicy(const WriteContext &ctx) override;
 
+    /** Interval prune/merge adaptation (not commit-atomic). */
+    Cycle postCommit(const WriteContext &ctx) override;
+
   private:
     struct RootEntry
     {

@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "fault/fault.hh"
 
 namespace amnt::mee
 {
@@ -44,6 +45,12 @@ MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm)
 
 Cycle
 MemoryEngine::onMetaInsert(Addr)
+{
+    return 0;
+}
+
+Cycle
+MemoryEngine::postCommit(const WriteContext &)
 {
     return 0;
 }
@@ -120,23 +127,29 @@ MemoryEngine::persistBytesMany(const Addr *addrs,
     while (n > 0) {
         const std::size_t chunk = std::min(n, kPersistBatch);
         crypto::MacRequest reqs[kPersistBatch];
-        std::size_t pos[kPersistBatch];
         std::size_t m = 0;
+        for (std::size_t k = 0; k < chunk; ++k) {
+            if (!blockIsZero(*blocks[k])) {
+                reqs[m] = {blocks[k]->data(), blocks[k]->size(),
+                           addrs[k]};
+                ++m;
+            }
+        }
+        // MACs are computed before any write lands so that an
+        // injected crash at block k leaves blocks < k fully persisted
+        // (bytes AND recorded MAC) and blocks >= k fully untouched.
+        std::uint64_t macs[kPersistBatch];
+        crypto_.hash->mac64xN(reqs, m, macs);
+        std::size_t j = 0;
         for (std::size_t k = 0; k < chunk; ++k) {
             nvm_->writeBlock(addrs[k], *blocks[k]);
             if (blockIsZero(*blocks[k])) {
                 persistedMac_.erase(addrs[k]);
             } else {
-                reqs[m] = {blocks[k]->data(), blocks[k]->size(),
-                           addrs[k]};
-                pos[m] = k;
-                ++m;
+                persistedMac_[addrs[k]] = macs[j];
+                ++j;
             }
         }
-        std::uint64_t macs[kPersistBatch];
-        crypto_.hash->mac64xN(reqs, m, macs);
-        for (std::size_t j = 0; j < m; ++j)
-            persistedMac_[addrs[pos[j]]] = macs[j];
         addrs += chunk;
         blocks += chunk;
         n -= chunk;
@@ -182,13 +195,21 @@ MemoryEngine::handleEviction(const cache::AccessResult &res)
     if (!res.evictedValid)
         return;
     const Addr victim = res.evictedAddr;
-    onMetaEvict(victim, res.evictedDirty);
+    {
+        // Eviction is one atomic persist unit: protocols that track
+        // residency in NV state (Anubis's shadow table) retire the
+        // victim's entry in the same breath as its write-back, so a
+        // crash never sees the entry gone but the write-back lost.
+        fault::CommitScope evict_unit(nvm_->faultDomain());
+        onMetaEvict(victim, res.evictedDirty);
+        if (res.evictedDirty) {
+            // Lazy write-back: the victim's latest bytes reach NVM.
+            ++*metaWritebacks_;
+            persistBytes(victim, latestBytes(victim));
+        }
+    }
     if (!res.evictedDirty)
         return;
-
-    // Lazy write-back: the victim's latest bytes reach NVM now.
-    ++*metaWritebacks_;
-    persistBytes(victim, latestBytes(victim));
 
     // Propagate freshness: a dirty tree node's parent must now track
     // the victim's new hash (counters already dirtied their leaf node
@@ -505,10 +526,17 @@ MemoryEngine::read(Addr addr, std::uint8_t *out)
 
         // A block is untouched iff it was never written through this
         // engine; its counter entry and HMAC entry are still zero.
+        // Untouched blocks must also read back as all-zero NVM: an
+        // attacker writing a never-written block is caught here, not
+        // silently masked by the zero-fill below.
         const bool untouched =
             plaintext_.find(blockOf(block)) == plaintext_.end();
-        if (!untouched && dataMac(block, cipher.data()) != stored)
+        if (untouched) {
+            if (!blockIsZero(cipher))
+                flagViolation("untouched data", block);
+        } else if (dataMac(block, cipher.data()) != stored) {
             flagViolation("data hmac", block);
+        }
 
         if (out != nullptr) {
             if (untouched) {
@@ -597,8 +625,18 @@ MemoryEngine::write(Addr addr, const std::uint8_t *data)
         panic("MEE write after crash without recovery");
     ++*dataWrites_;
     WriteContext ctx;
-    Cycle lat = writeCommon(addr, data, ctx);
-    lat += persistPolicy(ctx);
+    Cycle lat;
+    {
+        // The architectural update and the protocol's persist set are
+        // one commit group: an injected crash fires before anything
+        // mutates, so a suppressed write never happened at all (the
+        // lazily computed NV root register stays consistent with NVM).
+        fault::CommitScope commit(nvm_->faultDomain());
+        lat = writeCommon(addr, data, ctx);
+        lat += persistPolicy(ctx);
+    }
+    // Deferred, non-atomic per-write work (crashable boundaries).
+    lat += postCommit(ctx);
     return lat;
 }
 

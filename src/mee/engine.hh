@@ -208,9 +208,20 @@ class MemoryEngine
 
     /**
      * Persist policy: called once per write after the architectural
-     * update; returns the critical-path latency it adds.
+     * update; returns the critical-path latency it adds. Runs inside
+     * the write's commit group (fault/fault.hh): its persists are
+     * atomic with the architectural update.
      */
     virtual Cycle persistPolicy(const WriteContext &ctx) = 0;
+
+    /**
+     * Deferred per-write work that is NOT atomic with the data write:
+     * runs after the commit group closes, so a crash can fall between
+     * the committed write and this (stop-loss counter persists,
+     * subtree movement, root-set adaptation, strict/leaf path
+     * persists of recomputable nodes). Returns added latency.
+     */
+    virtual Cycle postCommit(const WriteContext &ctx);
 
     /** Hook: a metadata block was inserted into the cache. */
     virtual Cycle onMetaInsert(Addr maddr);
@@ -301,6 +312,25 @@ class MemoryEngine
 
     /** Record an integrity violation. */
     void flagViolation(const char *what, Addr addr);
+
+    /** Attached fault domain (nullptr when un-instrumented). */
+    fault::FaultDomain *
+    faultDomain() const
+    {
+        return nvm_->faultDomain();
+    }
+
+    /**
+     * Report a non-device persist op (NV on-chip register or cache
+     * update) as a crash-point boundary. No-op when un-instrumented
+     * or inside a commit group.
+     */
+    void
+    faultPersistPoint()
+    {
+        if (fault::FaultDomain *d = nvm_->faultDomain())
+            d->persistPoint();
+    }
 
     /** Update the on-chip root register from architectural state. */
     void

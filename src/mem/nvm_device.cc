@@ -19,7 +19,11 @@ NvmDevice::tamper(Addr addr, std::size_t offset, std::uint8_t mask)
     checkAddr(addr);
     if (offset >= kBlockSize)
         panic("tamper offset out of range");
-    // try_emplace value-initializes fresh blocks to all-zero.
+    if (mask == 0)
+        panic("tamper with a zero mask modifies nothing");
+    // try_emplace value-initializes fresh blocks to all-zero: the
+    // attack registers a never-written block in the store, so it is
+    // visible to recovery scans like any engine-persisted block.
     auto [it, fresh] = store_.try_emplace(blockOf(addr));
     it->second[offset] ^= mask;
     return !fresh;

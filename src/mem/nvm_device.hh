@@ -26,6 +26,7 @@
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/fault.hh"
 
 namespace amnt::mem
 {
@@ -78,6 +79,10 @@ class NvmDevice
     writeBlock(Addr addr, const Block &data)
     {
         checkAddr(addr);
+        // Persist-op boundary: an injected crash suppresses this
+        // write, leaving the previous durable contents in place.
+        if (fault_ != nullptr)
+            fault_->persistPoint();
         ++writes_;
         // try_emplace + assign: fresh blocks are value-initialized
         // then overwritten, existing blocks take one probe total.
@@ -112,13 +117,21 @@ class NvmDevice
     touchWrite(Addr addr)
     {
         checkAddr(addr);
+        if (fault_ != nullptr)
+            fault_->persistPoint();
         ++writes_;
     }
 
     /**
      * Simulate a physical attack: XOR @p mask into byte @p offset of
-     * the block containing @p addr. Returns false when the block has
-     * never been written (still all-zero storage is tampered anyway).
+     * the block containing @p addr. A never-written (still all-zero)
+     * block is registered in the store by the attack, so every
+     * persisted-state scan (recovery sweeps, forEachBlockIn) sees the
+     * tampered block exactly like one the engine had persisted — the
+     * attacker's write is indistinguishable from a stale persist.
+     * @p mask must be non-zero (a zero mask would "touch" the block
+     * without modifying it, which no physical attack does).
+     * Returns false when the block had never been written.
      */
     bool tamper(Addr addr, std::size_t offset, std::uint8_t mask);
 
@@ -137,6 +150,16 @@ class NvmDevice
 
     /** Number of distinct blocks ever written. */
     std::uint64_t blocksTouched() const { return store_.size(); }
+
+    /**
+     * Attach (or detach, with nullptr) a fault-injection domain.
+     * Every writeBlock/touchWrite then reports a persist-op boundary
+     * to it; disarmed domains are inert (see fault/fault.hh).
+     */
+    void setFaultDomain(fault::FaultDomain *domain) { fault_ = domain; }
+
+    /** Attached fault domain, nullptr when un-instrumented. */
+    fault::FaultDomain *faultDomain() const { return fault_; }
 
     /**
      * Visit every block ever written whose first byte address lies in
@@ -163,6 +186,7 @@ class NvmDevice
     FlatMap<BlockId, Block> store_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
+    fault::FaultDomain *fault_ = nullptr;
 };
 
 } // namespace amnt::mem

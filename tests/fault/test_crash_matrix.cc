@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Exhaustive crash-point matrix: every metadata-persistence protocol,
+ * crashed at every persist-op boundary of a fixed seeded workload,
+ * must recover without losing a committed block, without missing a
+ * tamper, and in agreement with a committed-write reference replay.
+ *
+ * Geometry is small on purpose (2 MB of data → 512 counter pages,
+ * node levels 1..4) so the exhaustive sweep stays in CI budget; a
+ * strided medium geometry runs when AMNT_FAULT_GEOMETRY=medium. A
+ * failing boundary prints its crash-point ID; reproduce it alone with
+ *   AMNT_FAULT_POINT=<id> ./test_fault --gtest_filter='CrashMatrix.*<proto>*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "fault/crash_schedule.hh"
+#include "fault/fault.hh"
+
+using namespace amnt;
+
+namespace
+{
+
+/** Matrix geometry: small enough for exhaustive boundary coverage. */
+fault::ScheduleConfig
+matrixConfig(mee::Protocol p, unsigned subtree_level = 3)
+{
+    fault::ScheduleConfig cfg;
+    cfg.protocol = p;
+    cfg.mee.dataBytes = 2ull << 20; // 512 pages, node levels 1..3
+    if (subtree_level >= 4)
+        cfg.mee.dataBytes = 16ull << 20; // deepen to node levels 1..4
+    cfg.mee.trackContents = true;
+    cfg.mee.keySeed = 7;
+    // A small metadata cache forces evictions (and their commit-scoped
+    // write-backs) into the boundary stream.
+    cfg.mee.metaCache = {"mcache", 4 * 1024, 4, 2};
+    cfg.mee.osirisStopLoss = 4;
+    cfg.mee.amntSubtreeLevel = subtree_level;
+    cfg.mee.amntInterval = 16;  // exercise movement inside ~96 ops
+    cfg.mee.amntHistoryEntries = 16;
+    cfg.mee.bmfRootCacheEntries = 16;
+    cfg.mee.bmfInterval = 24;   // exercise prune/merge adaptation
+    cfg.workloadSeed = 1;
+    cfg.workloadOps = 96;
+    cfg.pages = 48;
+    cfg.blocksPerPage = 8;
+    cfg.writeFraction = 0.7;
+
+    if (const char *g = std::getenv("AMNT_FAULT_GEOMETRY");
+        g != nullptr && std::string(g) == "medium") {
+        cfg.mee.dataBytes = 16ull << 20;
+        cfg.workloadOps = 384;
+        cfg.pages = 192;
+        cfg.stride = 17; // deterministic subset at medium geometry
+        cfg.sampleSeed = 11;
+    }
+    return fault::applyEnv(cfg);
+}
+
+/** Silence the expected tamper-probe warnings for one test body. */
+struct QuietScope
+{
+    QuietScope() { setQuiet(true); }
+    ~QuietScope() { setQuiet(false); }
+};
+
+void
+runMatrix(const fault::ScheduleConfig &cfg)
+{
+    QuietScope quiet;
+    const fault::ScheduleReport report = fault::runCrashSchedule(cfg);
+    EXPECT_GT(report.totalBoundaries, 0u);
+    EXPECT_GT(report.tested, 0u);
+    EXPECT_TRUE(report.allOk())
+        << "tested " << report.tested << " of "
+        << report.totalBoundaries << " boundaries; "
+        << report.failures.size() << " failed:\n"
+        << report.describeFailures();
+}
+
+} // namespace
+
+TEST(CrashMatrix, Strict)
+{
+    runMatrix(matrixConfig(mee::Protocol::Strict));
+}
+
+TEST(CrashMatrix, Leaf)
+{
+    runMatrix(matrixConfig(mee::Protocol::Leaf));
+}
+
+TEST(CrashMatrix, Osiris)
+{
+    runMatrix(matrixConfig(mee::Protocol::Osiris));
+}
+
+TEST(CrashMatrix, Anubis)
+{
+    runMatrix(matrixConfig(mee::Protocol::Anubis));
+}
+
+TEST(CrashMatrix, Bmf)
+{
+    runMatrix(matrixConfig(mee::Protocol::Bmf));
+}
+
+TEST(CrashMatrix, AmntLevel2)
+{
+    runMatrix(matrixConfig(mee::Protocol::Amnt, 2));
+}
+
+TEST(CrashMatrix, AmntLevel3)
+{
+    runMatrix(matrixConfig(mee::Protocol::Amnt, 3));
+}
+
+TEST(CrashMatrix, AmntLevel4)
+{
+    runMatrix(matrixConfig(mee::Protocol::Amnt, 4));
+}
+
+TEST(CrashMatrix, Hybrid)
+{
+    fault::ScheduleConfig cfg = matrixConfig(mee::Protocol::Amnt);
+    cfg.hybrid = true;
+    runMatrix(cfg);
+}
+
+// ---------------------------------------------------------------------
+// Scheduling machinery.
+
+TEST(CrashSchedule, BoundaryCountIsDeterministic)
+{
+    QuietScope quiet;
+    const fault::ScheduleConfig cfg =
+        matrixConfig(mee::Protocol::Leaf);
+    const fault::ScheduleConfig probe = [&] {
+        fault::ScheduleConfig c = cfg;
+        c.onlyPoint = ~0ull; // count, then test nothing real
+        return c;
+    }();
+    const fault::ScheduleReport a = fault::runCrashSchedule(probe);
+    const fault::ScheduleReport b = fault::runCrashSchedule(probe);
+    EXPECT_EQ(a.totalBoundaries, b.totalBoundaries);
+    EXPECT_GT(a.totalBoundaries, 0u);
+}
+
+TEST(CrashSchedule, StrideSelectsDeterministicSubset)
+{
+    QuietScope quiet;
+    fault::ScheduleConfig cfg = matrixConfig(mee::Protocol::Leaf);
+    cfg.stride = 7;
+    cfg.sampleSeed = 3;
+    const fault::ScheduleReport report = fault::runCrashSchedule(cfg);
+    EXPECT_TRUE(report.allOk()) << report.describeFailures();
+    // ceil((total - offset) / stride) boundaries, offset < stride.
+    EXPECT_LT(report.tested,
+              report.totalBoundaries / cfg.stride + 2);
+    EXPECT_GT(report.tested, 0u);
+
+    const fault::ScheduleReport again = fault::runCrashSchedule(cfg);
+    EXPECT_EQ(report.tested, again.tested);
+    EXPECT_EQ(report.totalBoundaries, again.totalBoundaries);
+}
+
+TEST(CrashSchedule, OnlyPointTestsExactlyOneBoundary)
+{
+    QuietScope quiet;
+    fault::ScheduleConfig cfg = matrixConfig(mee::Protocol::Leaf);
+    cfg.onlyPoint = 5;
+    const fault::ScheduleReport report = fault::runCrashSchedule(cfg);
+    EXPECT_EQ(report.tested, 1u);
+    EXPECT_TRUE(report.allOk()) << report.describeFailures();
+}
+
+TEST(CrashSchedule, RunBoundaryMatchesScheduleOutcome)
+{
+    QuietScope quiet;
+    const fault::ScheduleConfig cfg =
+        matrixConfig(mee::Protocol::Osiris);
+    const fault::BoundaryOutcome out = fault::runBoundary(cfg, 3);
+    EXPECT_TRUE(out.ok()) << out.detail;
+    EXPECT_EQ(out.point, 3u);
+}
+
+TEST(CrashSchedule, PointBeyondCountReportsFailure)
+{
+    QuietScope quiet;
+    fault::ScheduleConfig cfg = matrixConfig(mee::Protocol::Leaf);
+    cfg.onlyPoint = ~0ull;
+    const fault::ScheduleReport report = fault::runCrashSchedule(cfg);
+    EXPECT_FALSE(report.allOk());
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_FALSE(report.failures[0].fired);
+}
+
+// ---------------------------------------------------------------------
+// FaultDomain unit behaviour.
+
+TEST(FaultDomain, CountsBoundariesMonotonically)
+{
+    fault::FaultDomain d;
+    d.startCounting();
+    d.persistPoint();
+    d.persistPoint();
+    {
+        fault::CommitScope scope(&d); // one boundary at open
+        d.persistPoint();             // inside: not a boundary
+        d.persistPoint();
+    }
+    d.persistPoint();
+    EXPECT_EQ(d.events(), 4u);
+    EXPECT_EQ(d.commitsClosed(), 1u);
+}
+
+TEST(FaultDomain, NestedScopesAreOneBoundaryAndOneCommit)
+{
+    fault::FaultDomain d;
+    d.startCounting();
+    {
+        fault::CommitScope outer(&d);
+        {
+            fault::CommitScope inner(&d); // nested: no new boundary
+            d.persistPoint();
+        }
+        EXPECT_EQ(d.commitsClosed(), 0u); // outer still open
+    }
+    EXPECT_EQ(d.events(), 1u);
+    EXPECT_EQ(d.commitsClosed(), 1u);
+}
+
+TEST(FaultDomain, ArmedDomainFiresOnceThenDisarms)
+{
+    fault::FaultDomain d;
+    d.arm(1);
+    d.persistPoint(); // boundary 0
+    bool threw = false;
+    try {
+        d.persistPoint(); // boundary 1: fires
+    } catch (const fault::CrashInjected &c) {
+        threw = true;
+        EXPECT_EQ(c.point(), 1u);
+        EXPECT_FALSE(c.atCommitOpen());
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(d.mode(), fault::FaultDomain::Mode::Disarmed);
+    d.persistPoint(); // disarmed: inert
+}
+
+TEST(FaultDomain, CommitOpenFiresBeforeScopeDepthIsTaken)
+{
+    fault::FaultDomain d;
+    d.arm(0);
+    bool threw = false;
+    try {
+        fault::CommitScope scope(&d);
+    } catch (const fault::CrashInjected &c) {
+        threw = true;
+        EXPECT_TRUE(c.atCommitOpen());
+    }
+    EXPECT_TRUE(threw);
+    // The throwing open never took the depth: a later scope pairs up.
+    d.startCounting();
+    {
+        fault::CommitScope scope(&d);
+    }
+    EXPECT_EQ(d.commitsClosed(), 1u);
+}
+
+TEST(FaultDomain, DisarmedDomainIsInert)
+{
+    fault::FaultDomain d;
+    d.persistPoint();
+    {
+        fault::CommitScope scope(&d);
+        d.persistPoint();
+    }
+    EXPECT_EQ(d.events(), 0u);
+}

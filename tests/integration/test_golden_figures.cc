@@ -1,0 +1,190 @@
+/**
+ * Golden regression pins for the paper harnesses.
+ *
+ * Seeded, scaled-down fig04 and table4 configurations run through the
+ * same bench_util plumbing the real harnesses use, and their canonical
+ * JSON serialization is compared byte-for-byte against checked-in
+ * results/golden_*.json. The pins prove that infrastructure changes —
+ * in particular the fault-injection hooks threaded through the persist
+ * paths — change no simulated numbers while disarmed.
+ *
+ * Every value here is pinned explicitly (instruction counts, footprint
+ * scaling, seeds); the AMNT_BENCH_* environment knobs are deliberately
+ * not consulted, so the goldens hold under any environment.
+ *
+ * Regenerate after an intentional model change with:
+ *   AMNT_GOLDEN_REGEN=1 ./build/tests/test_integration \
+ *       --gtest_filter='GoldenFigures.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "core/amnt.hh"
+#include "core/recovery_planner.hh"
+
+namespace amnt
+{
+namespace
+{
+
+std::string
+goldenPath(const char *name)
+{
+    return std::string(AMNT_SOURCE_ROOT) + "/results/" + name;
+}
+
+/** Compare @p text with the golden file, or rewrite it under regen. */
+void
+checkGolden(const char *name, const std::string &text)
+{
+    const std::string path = goldenPath(name);
+    if (std::getenv("AMNT_GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << text;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing; regenerate with AMNT_GOLDEN_REGEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), text)
+        << "simulated numbers drifted from " << path
+        << " (intentional model changes must regenerate the golden "
+           "with AMNT_GOLDEN_REGEN=1)";
+}
+
+/** One canonical line per swept configuration. */
+std::string
+outcomeRow(const std::string &label, const sweep::Job &job,
+           const sweep::Outcome &o)
+{
+    const sim::RunResult &r = o.result;
+    bench::JsonRow row;
+    row.field("label", label)
+        .field("protocol",
+               std::string(mee::protocolName(job.config.protocol)))
+        .field("amntpp", job.config.amntpp)
+        .field("cycles", r.cycles)
+        .field("app_instructions", r.appInstructions)
+        .field("os_instructions", r.osInstructions)
+        .field("data_accesses", r.dataAccesses)
+        .field("mem_reads", r.memReads)
+        .field("mem_writes", r.memWrites)
+        .field("mcache_hit_rate", r.mcacheHitRate)
+        .field("subtree_hit_rate", r.subtreeHitRate)
+        .field("subtree_movements", r.subtreeMovements)
+        .field("page_faults", r.pageFaults);
+    return row.str();
+}
+
+TEST(GoldenFigures, Fig04PinnedConfigsMatchGolden)
+{
+    // Pinned miniature of the fig04 matrix: two benchmarks (one
+    // metadata-cache-hostile, one write-heavy), the volatile baseline,
+    // the five figure protocols, and amnt++.
+    const std::uint64_t instr = 48000;
+    const std::uint64_t warmup = 16000;
+    const std::vector<std::string> benchmarks = {"canneal",
+                                                 "fluidanimate"};
+
+    std::vector<std::string> labels;
+    std::vector<sweep::Job> jobs;
+    for (const std::string &name : benchmarks) {
+        sim::WorkloadConfig w = sim::parsecPreset(name);
+        w.footprintPages =
+            std::max<std::uint64_t>(256, w.footprintPages / 16);
+        auto push = [&](sim::SystemConfig cfg, const char *suffix) {
+            labels.push_back(name + "/" + suffix);
+            jobs.push_back(bench::makeJob(cfg, {w}, instr, warmup));
+        };
+        push(bench::paperSystem(mee::Protocol::Volatile, 1), "volatile");
+        for (mee::Protocol p : bench::figureProtocols())
+            push(bench::paperSystem(p, 1), mee::protocolName(p));
+        sim::SystemConfig pp =
+            bench::paperSystem(mee::Protocol::Amnt, 1);
+        pp.amntpp = true;
+        push(pp, "amnt++");
+    }
+
+    const std::vector<sweep::Outcome> outcomes =
+        bench::sweepConfigs(jobs);
+    std::string text;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        text += outcomeRow(labels[i], jobs[i], outcomes[i]) + "\n";
+    checkGolden("golden_fig04.json", text);
+}
+
+TEST(GoldenFigures, Table4PinnedConfigsMatchGolden)
+{
+    std::string text;
+
+    // Analytic recovery model rows (pure arithmetic, Table 4 sizes).
+    core::RecoveryModel model;
+    constexpr std::uint64_t kTb = 1ull << 40;
+    const std::uint64_t sizes[] = {2 * kTb, 16 * kTb, 128 * kTb};
+    auto analytic = [&](const std::string &label, auto fn) {
+        bench::JsonRow row;
+        row.field("label", label);
+        for (std::uint64_t s : sizes)
+            row.field(("ms_" + std::to_string(s / kTb) + "tb").c_str(),
+                      fn(s));
+        text += row.str() + "\n";
+    };
+    analytic("leaf", [&](std::uint64_t s) { return model.leafMs(s); });
+    analytic("strict",
+             [&](std::uint64_t s) { return model.strictMs(s); });
+    analytic("anubis", [&](std::uint64_t) { return model.anubisMs(); });
+    analytic("osiris",
+             [&](std::uint64_t s) { return model.osirisMs(s); });
+    analytic("bmf", [&](std::uint64_t s) { return model.bmfMs(s); });
+    for (unsigned level = 2; level <= 4; ++level)
+        analytic("amnt_l" + std::to_string(level),
+                 [&, level](std::uint64_t s) {
+                     return model.amntMs(s, level);
+                 });
+
+    // Functional validation: real crash + recovery per protocol on a
+    // pinned seeded workload (the table4 harness's second section).
+    const std::vector<mee::Protocol> protocols = {
+        mee::Protocol::Strict, mee::Protocol::Leaf,
+        mee::Protocol::Osiris, mee::Protocol::Anubis,
+        mee::Protocol::Bmf,    mee::Protocol::Amnt};
+    for (mee::Protocol p : protocols) {
+        mee::MeeConfig cfg;
+        cfg.dataBytes = 32ull << 20;
+        cfg.trackContents = false;
+        cfg.keySeed = 99;
+        mem::NvmDevice nvm(mem::MemoryMap(cfg.dataBytes).deviceBytes());
+        auto engine = core::makeEngine(p, cfg, nvm);
+        Rng rng(4242);
+        for (int w = 0; w < 6000; ++w)
+            engine->write(rng.below(8192) * kPageSize +
+                          rng.below(64) * kBlockSize);
+        engine->crash();
+        const mee::RecoveryReport report = engine->recover();
+        bench::JsonRow row;
+        row.field("label",
+                  std::string("functional ") + mee::protocolName(p))
+            .field("success", report.success)
+            .field("blocks_read", report.blocksRead)
+            .field("blocks_written", report.blocksWritten)
+            .field("counters_recovered", report.countersRecovered)
+            .field("nodes_recomputed", report.nodesRecomputed)
+            .field("estimated_ms", report.estimatedMs);
+        text += row.str() + "\n";
+    }
+    checkGolden("golden_table4.json", text);
+}
+
+} // namespace
+} // namespace amnt
