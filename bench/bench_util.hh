@@ -23,6 +23,9 @@
  *   AMNT_BENCH_SCALE    divisor applied to preset footprints (def. 4)
  *   AMNT_SWEEP_THREADS  sweep worker count (default: hardware threads)
  *   AMNT_BENCH_JSON     write per-row machine-readable results here
+ *   AMNT_BENCH_STATS    1 = embed each row's full stats-registry
+ *                       snapshot (sweep::Outcome::statsJson) as a
+ *                       "stats" object in the JSON rows
  *
  * Every harness also accepts `--json <path>` (overrides the
  * environment variable).
@@ -134,6 +137,14 @@ runConfig(sim::SystemConfig cfg,
     return sys.run(instr, warmup);
 }
 
+/** AMNT_BENCH_STATS: embed registry snapshots in JSON rows. */
+inline bool
+benchStatsEnabled()
+{
+    static const bool on = envU64("AMNT_BENCH_STATS", 0) != 0;
+    return on;
+}
+
 /** Paper Table 1 system config at the chosen core count. */
 inline sim::SystemConfig
 paperSystem(mee::Protocol p, unsigned cores)
@@ -186,6 +197,13 @@ class JsonRow
     field(const char *key, bool value)
     {
         return raw(key, value ? "true" : "false");
+    }
+
+    /** Embed pre-rendered JSON (an object or array) verbatim. */
+    JsonRow &
+    rawField(const char *key, const std::string &json)
+    {
+        return raw(key, json);
     }
 
     std::string str() const { return "{" + body_ + "}"; }
@@ -297,6 +315,8 @@ class JsonSink
             .field("sim_instr_per_sec",
                    o.wallSeconds > 0.0 ? instr_total / o.wallSeconds
                                        : 0.0);
+        if (benchStatsEnabled() && !o.statsJson.empty())
+            row.rawField("stats", o.statsJson);
         rows_.push_back(row.str());
     }
 

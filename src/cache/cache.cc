@@ -61,8 +61,10 @@ Cache::access(Addr addr, bool set_dirty)
     }
     ++*hits_;
     line->lastUse = ++useClock_;
-    if (set_dirty)
+    if (set_dirty && !line->dirty) {
         line->dirty = true;
+        ++dirtyLines_;
+    }
     return true;
 }
 
@@ -102,12 +104,16 @@ Cache::insert(Addr addr, bool dirty)
         result.evictedDirty = victim->dirty;
         result.evictedAddr = victim->tag;
         ++*evictions_;
-        if (victim->dirty)
+        if (victim->dirty) {
             ++*dirtyEvictions_;
+            --dirtyLines_;
+        }
     }
     victim->tag = blockAddr(blockOf(addr));
     victim->valid = true;
     victim->dirty = dirty;
+    if (dirty)
+        ++dirtyLines_;
     victim->lastUse = ++useClock_;
     ++*fills_;
     return result;
@@ -117,8 +123,10 @@ void
 Cache::clean(Addr addr)
 {
     Line *line = find(addr);
-    if (line != nullptr)
+    if (line != nullptr && line->dirty) {
         line->dirty = false;
+        --dirtyLines_;
+    }
 }
 
 bool
@@ -128,6 +136,8 @@ Cache::invalidate(Addr addr)
     if (line == nullptr)
         return false;
     const bool was_dirty = line->dirty;
+    if (was_dirty)
+        --dirtyLines_;
     line->valid = false;
     line->dirty = false;
     return was_dirty;
@@ -140,6 +150,7 @@ Cache::invalidateAll()
         line.valid = false;
         line.dirty = false;
     }
+    dirtyLines_ = 0;
 }
 
 void
@@ -158,6 +169,7 @@ Cache::cleanIf(const std::function<bool(Addr)> &pred)
     for (auto &line : lines_) {
         if (line.valid && line.dirty && pred(line.tag)) {
             line.dirty = false;
+            --dirtyLines_;
             ++cleaned;
         }
     }

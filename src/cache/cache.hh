@@ -61,6 +61,13 @@ class Cache
     /** Total line count. */
     std::uint64_t lines() const { return numSets_ * config_.ways; }
 
+    /**
+     * Lines currently dirty (write-queue residency: the write-back
+     * work outstanding against backing memory). Maintained
+     * incrementally, so sampling it per access is O(1).
+     */
+    std::uint64_t dirtyLines() const { return dirtyLines_; }
+
     /** Hit latency in cycles. */
     Cycle hitLatency() const { return config_.hitLatency; }
 
@@ -105,6 +112,9 @@ class Cache
     /** Statistics: hits, misses, evictions, dirty evictions. */
     const StatGroup &stats() const { return stats_; }
 
+    /** Mutable statistics (registry federation / reset-in-place). */
+    StatGroup &stats() { return stats_; }
+
     /** Hit rate over all accesses so far. */
     double
     hitRate() const
@@ -129,6 +139,7 @@ class Cache
     std::uint64_t numSets_;
     std::vector<Line> lines_;
     std::uint64_t useClock_ = 0;
+    std::uint64_t dirtyLines_ = 0;
     StatGroup stats_;
 
     // Per-access counters resolved once (see StatGroup::counter).

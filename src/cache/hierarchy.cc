@@ -1,6 +1,7 @@
 #include "cache/hierarchy.hh"
 
 #include "common/log.hh"
+#include "obs/registry.hh"
 
 namespace amnt::cache
 {
@@ -77,6 +78,15 @@ CacheHierarchy::invalidateAll()
 {
     for (Cache *c : path_)
         c->invalidateAll();
+}
+
+void
+CacheHierarchy::registerStats(obs::StatRegistry &reg,
+                              const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".mem_reads", [this] { return memReads_; });
+    reg.addScalar(prefix + ".mem_writes",
+                  [this] { return memWrites_; });
 }
 
 } // namespace amnt::cache

@@ -16,10 +16,16 @@
 #define AMNT_CACHE_HIERARCHY_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "common/types.hh"
+
+namespace amnt::obs
+{
+class StatRegistry;
+}
 
 namespace amnt::cache
 {
@@ -54,6 +60,13 @@ class CacheHierarchy
 
     /** Write-backs that reached memory. */
     std::uint64_t memWrites() const { return memWrites_; }
+
+    /**
+     * Register memory-traffic probes (`<prefix>.mem_reads`,
+     * `.mem_writes`) with a stats registry (obs/registry.hh).
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     /**

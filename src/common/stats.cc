@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/log.hh"
@@ -16,27 +17,49 @@ StatGroup::dump(const std::string &prefix) const
     return os.str();
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), bins_(bins, 0)
+Histogram::Histogram(double lo, double hi, std::size_t bins, Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), bins_(bins, 0)
 {
     if (bins == 0 || !(hi > lo))
         panic("Histogram requires bins >= 1 and hi > lo");
+    if (scale == Scale::Log && !(lo > 0.0))
+        panic("Histogram with log bins requires lo > 0");
+}
+
+std::ptrdiff_t
+Histogram::binIndex(double sample) const
+{
+    if (sample < lo_)
+        return -1;
+    if (sample >= hi_)
+        return static_cast<std::ptrdiff_t>(bins_.size());
+    double pos;
+    if (scale_ == Scale::Linear) {
+        pos = (sample - lo_) / (hi_ - lo_) *
+              static_cast<double>(bins_.size());
+    } else {
+        pos = std::log(sample / lo_) / std::log(hi_ / lo_) *
+              static_cast<double>(bins_.size());
+    }
+    auto idx = static_cast<std::size_t>(pos);
+    // Guard the floating-point edge where a sample just below hi
+    // rounds up to bins().
+    if (idx >= bins_.size())
+        idx = bins_.size() - 1;
+    return static_cast<std::ptrdiff_t>(idx);
 }
 
 void
 Histogram::add(double sample, std::uint64_t weight)
 {
-    const double span = hi_ - lo_;
-    double pos = (sample - lo_) / span * static_cast<double>(bins_.size());
-    std::size_t idx;
-    if (pos < 0.0) {
-        idx = 0;
-    } else if (pos >= static_cast<double>(bins_.size())) {
-        idx = bins_.size() - 1;
+    const std::ptrdiff_t idx = binIndex(sample);
+    if (idx < 0) {
+        underflow_ += weight;
+    } else if (idx >= static_cast<std::ptrdiff_t>(bins_.size())) {
+        overflow_ += weight;
     } else {
-        idx = static_cast<std::size_t>(pos);
+        bins_[static_cast<std::size_t>(idx)] += weight;
     }
-    bins_[idx] += weight;
     count_ += weight;
     sum_ += sample * static_cast<double>(weight);
 }
@@ -50,9 +73,57 @@ Histogram::mean() const
 double
 Histogram::binLo(std::size_t i) const
 {
-    const double span = hi_ - lo_;
-    return lo_ + span * static_cast<double>(i) /
-        static_cast<double>(bins_.size());
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(bins_.size());
+    if (scale_ == Scale::Log)
+        return lo_ * std::exp(std::log(hi_ / lo_) * frac);
+    return lo_ + (hi_ - lo_) * frac;
+}
+
+double
+Histogram::quantize(double sample) const
+{
+    const std::ptrdiff_t idx = binIndex(sample);
+    if (idx < 0)
+        return lo_;
+    if (idx >= static_cast<std::ptrdiff_t>(bins_.size()))
+        return hi_;
+    return binLo(static_cast<std::size_t>(idx));
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    // Nearest rank: the smallest k in [1, count] with
+    // k >= ceil(p/100 * count).
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    std::uint64_t cum = underflow_;
+    if (cum >= rank)
+        return lo_;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        cum += bins_[i];
+        if (cum >= rank)
+            return binLo(i);
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : bins_)
+        b = 0;
+    count_ = 0;
+    underflow_ = 0;
+    overflow_ = 0;
+    sum_ = 0.0;
 }
 
 } // namespace amnt

@@ -8,6 +8,7 @@
 #ifndef AMNT_COMMON_STATS_HH
 #define AMNT_COMMON_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -89,35 +90,73 @@ class StatGroup
 };
 
 /**
- * Histogram with uniform bins over [lo, hi); out-of-range samples are
- * clamped into the edge bins. Used for Figure 3's accesses-per-address
- * distributions.
+ * Fixed-bin histogram over [lo, hi) with percentile queries.
+ *
+ * Bins are uniform either in the value (Scale::Linear) or in its
+ * logarithm (Scale::Log, for latency-style long tails; requires
+ * lo > 0). Samples outside [lo, hi) are tallied in separate
+ * underflow/overflow counters — they still contribute to count() and
+ * mean(), but no longer distort the edge bins.
+ *
+ * percentile(p) uses the nearest-rank definition (the smallest
+ * recorded value v such that at least ceil(p/100 * count) samples are
+ * <= v) resolved at bin granularity: it returns the lower edge of the
+ * bin holding that rank, which is exactly quantize(v*) for the true
+ * nearest-rank sample v*. Underflow resolves to lo and overflow to hi,
+ * so results are always finite. An empty histogram reports 0.
  */
 class Histogram
 {
   public:
-    Histogram(double lo, double hi, std::size_t bins);
+    enum class Scale { Linear, Log };
+
+    Histogram(double lo, double hi, std::size_t bins,
+              Scale scale = Scale::Linear);
 
     /** Record one sample. */
     void add(double sample, std::uint64_t weight = 1);
 
-    /** Number of samples recorded. */
+    /** Number of samples recorded (including under/overflow). */
     std::uint64_t count() const { return count_; }
 
-    /** Mean of recorded samples. */
+    /** Mean of recorded samples (including under/overflow). */
     double mean() const;
 
-    /** Bin contents. */
+    /** Samples below lo / at-or-above hi. */
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** Bin contents (in-range samples only). */
     const std::vector<std::uint64_t> &bins() const { return bins_; }
 
-    /** Lower edge of bin @p i. */
+    /** Lower edge of bin @p i (scale-aware). */
     double binLo(std::size_t i) const;
 
+    /**
+     * The value a recorded sample resolves to: the lower edge of its
+     * bin, lo for underflow, hi for overflow. percentile() answers in
+     * this quantized domain, which lets tests compare it exactly
+     * against a sorted-reference oracle.
+     */
+    double quantize(double sample) const;
+
+    /** Nearest-rank percentile for p in (0, 100]; 0 when empty. */
+    double percentile(double p) const;
+
+    /** Forget all samples (geometry is kept). */
+    void reset();
+
   private:
+    /** Bin of @p sample: -1 underflow, bins() overflow. */
+    std::ptrdiff_t binIndex(double sample) const;
+
     double lo_;
     double hi_;
+    Scale scale_;
     std::vector<std::uint64_t> bins_;
     std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
     double sum_ = 0.0;
 };
 

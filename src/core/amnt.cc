@@ -135,6 +135,7 @@ void
 AmntEngine::moveSubtreeTo(std::uint64_t new_region)
 {
     stats_.inc("subtree_movements");
+    trace_.begin(obs::EventClass::SubtreeMove, new_region);
 
     // All inner nodes of the outgoing subtree must persist before the
     // incoming one may run lazily. Only in-subtree nodes (and the
@@ -171,6 +172,7 @@ AmntEngine::moveSubtreeTo(std::uint64_t new_region)
     fault::CommitScope retarget(nvm_->faultDomain());
     region_ = new_region;
     refreshSubtreeRegister();
+    trace_.end(obs::EventClass::SubtreeMove);
 }
 
 void

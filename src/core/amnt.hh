@@ -28,6 +28,7 @@
 #define AMNT_CORE_AMNT_HH
 
 #include <memory>
+#include <string>
 
 #include "core/history_buffer.hh"
 #include "mee/engine.hh"
@@ -49,6 +50,13 @@ class AmntEngine : public mee::MemoryEngine
     void crash() override;
 
     mee::RecoveryReport recover() override;
+
+    /** Registry subpath carries the subtree level: "amnt.l3". */
+    std::string
+    statPath() const override
+    {
+        return "amnt.l" + std::to_string(config_.amntSubtreeLevel);
+    }
 
     /** Region index currently protected by the fast subtree. */
     std::uint64_t currentRegion() const { return region_; }

@@ -200,6 +200,11 @@ runOne(const ScheduleConfig &cfg, const std::vector<Op> &ops,
     h.attach(&domain);
     domain.arm(point);
 
+    // Injection lifecycle on the engine's trace track: the armed
+    // boundary id (a1=1 distinguishes it from the organic Crash
+    // instant the engine emits when the boundary actually fires).
+    h.scmEngine().tracer().instant(obs::EventClass::Crash, point, 1);
+
     std::vector<const Op *> committed;
     out.fired = replay(h, domain, ops, committed);
     if (!out.fired) {

@@ -57,6 +57,7 @@ class AnubisEngine : public MemoryEngine
         // before the entry lands (the fetched block then simply was
         // never cached).
         faultPersistPoint();
+        trace_.instant(obs::EventClass::Persist, maddr, 1);
         shadow_[maddr] = latestBytes(maddr);
         stats_.inc("shadow_writes");
         return config_.nvmWriteCycles;
@@ -68,6 +69,7 @@ class AnubisEngine : public MemoryEngine
         // Updates to resident blocks refresh the shadow copy; these
         // are posted (coalesced in the write-pending queue).
         faultPersistPoint();
+        trace_.instant(obs::EventClass::Persist, maddr, 1);
         shadow_[maddr] = latestBytes(maddr);
         stats_.inc("shadow_writes");
     }

@@ -198,6 +198,7 @@ OsirisEngine::recover()
                 }
                 std::uint64_t cand[kMinorCounterMax + 1u];
                 crypto_.hash->mac64xN(treqs, ncand, cand);
+                trace_.instant(obs::EventClass::CryptoBatch, ncand);
                 bool matched = false;
                 for (unsigned d = 0; d < ncand; ++d) {
                     if (cand[d] == entry) {

@@ -211,6 +211,7 @@ BmfEngine::adapt()
                               victim_uses / 2});
             rebuildIndex();
             stats_.inc("bmf_merges");
+            trace_.instant(obs::EventClass::RootAdapt, 1);
             // Indices moved; re-locate the hottest entry.
             hottest = roots_.size();
             best = 0;
@@ -241,6 +242,7 @@ BmfEngine::adapt()
         }
         rebuildIndex();
         stats_.inc("bmf_prunes");
+        trace_.instant(obs::EventClass::RootAdapt, 0);
     }
 
     // Age the usage counters so the set keeps tracking the workload.

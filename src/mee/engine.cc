@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstring>
 
+#include <chrono>
+
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "fault/fault.hh"
+#include "obs/registry.hh"
 
 namespace amnt::mee
 {
@@ -28,7 +31,10 @@ protocolName(Protocol p)
 MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm)
     : config_(config), map_(config.dataBytes), nvm_(&nvm),
       crypto_(crypto::CryptoSuite::make(config.plane, config.keySeed)),
-      mcache_(config.metaCache)
+      mcache_(config.metaCache),
+      mcacheDirtyOccupancy_(
+          0.0, static_cast<double>(mcache_.lines()) + 1.0,
+          static_cast<std::size_t>(mcache_.lines()) + 1)
 {
     if (nvm.capacity() < map_.deviceBytes())
         fatal("NVM device (%llu B) smaller than required layout "
@@ -41,6 +47,29 @@ MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm)
     metaFetches_ = &stats_.counter("meta_fetches");
     metaWritebacks_ = &stats_.counter("meta_writebacks");
     persistWrites_ = &stats_.counter("persist_writes");
+}
+
+std::string
+MemoryEngine::statPath() const
+{
+    return protocolName(protocol());
+}
+
+void
+MemoryEngine::registerStats(obs::StatRegistry &reg,
+                            const std::string &prefix)
+{
+    const std::string base = prefix + "." + statPath();
+    reg.addGroup(base, &stats_);
+    reg.addGroup(prefix + ".mcache", &mcache_.stats());
+    reg.addHistogram(prefix + ".persist_chain_depth",
+                     &persistChainDepth_);
+    reg.addHistogram(prefix + ".mcache_dirty_occupancy",
+                     &mcacheDirtyOccupancy_);
+    reg.addHistogram("host." + prefix + ".crypto_batch_ns",
+                     &hostCryptoBatchNs_);
+    reg.addScalar(prefix + ".violations",
+                  [this] { return violations_; });
 }
 
 Cycle
@@ -103,6 +132,7 @@ blockIsZero(const mem::Block &b)
 void
 MemoryEngine::persistBytes(Addr maddr, const mem::Block &bytes)
 {
+    trace_.instant(obs::EventClass::Persist, maddr);
     nvm_->writeBlock(maddr, bytes);
     if (blockIsZero(bytes))
         persistedMac_.erase(maddr);
@@ -139,9 +169,22 @@ MemoryEngine::persistBytesMany(const Addr *addrs,
         // injected crash at block k leaves blocks < k fully persisted
         // (bytes AND recorded MAC) and blocks >= k fully untouched.
         std::uint64_t macs[kPersistBatch];
-        crypto_.hash->mac64xN(reqs, m, macs);
+        if (obs::hostTimingEnabled()) {
+            const auto t0 = std::chrono::steady_clock::now();
+            crypto_.hash->mac64xN(reqs, m, macs);
+            const auto t1 = std::chrono::steady_clock::now();
+            hostCryptoBatchNs_.add(static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1 - t0)
+                    .count()));
+        } else {
+            crypto_.hash->mac64xN(reqs, m, macs);
+        }
+        trace_.instant(obs::EventClass::CryptoBatch, m);
         std::size_t j = 0;
         for (std::size_t k = 0; k < chunk; ++k) {
+            if (trace_.on())
+                trace_.instant(obs::EventClass::Persist, addrs[k]);
             nvm_->writeBlock(addrs[k], *blocks[k]);
             if (blockIsZero(*blocks[k])) {
                 persistedMac_.erase(addrs[k]);
@@ -195,6 +238,8 @@ MemoryEngine::handleEviction(const cache::AccessResult &res)
     if (!res.evictedValid)
         return;
     const Addr victim = res.evictedAddr;
+    trace_.instant(obs::EventClass::McacheEvict, victim,
+                   res.evictedDirty ? 1 : 0);
     {
         // Eviction is one atomic persist unit: protocols that track
         // residency in NV state (Anubis's shadow table) retire the
@@ -232,8 +277,11 @@ Cycle
 MemoryEngine::ensureResident(Addr maddr, unsigned &misses)
 {
     maddr = blockAddr(blockOf(maddr));
-    if (mcache_.access(maddr, false))
+    if (mcache_.access(maddr, false)) {
+        trace_.instant(obs::EventClass::McacheHit, maddr);
         return 0;
+    }
+    trace_.instant(obs::EventClass::McacheMiss, maddr);
     ++misses;
     ++*metaFetches_;
     mem::Block bytes;
@@ -268,6 +316,9 @@ MemoryEngine::ensureCounterChain(std::uint64_t counterIdx,
             break; // anchored at the on-chip root register
         ref = bmt::Geometry::parentOf(ref);
     }
+    if (trace_.on())
+        trace_.instant(obs::EventClass::BmtWalk, counterIdx,
+                       misses - before);
     return hook;
 }
 
@@ -278,6 +329,7 @@ MemoryEngine::markDirty(Addr maddr)
     if (!mcache_.access(maddr, true)) {
         // Rare: the block was displaced between residency setup and
         // this update; re-fetch (read-modify-write).
+        trace_.instant(obs::EventClass::McacheMiss, maddr);
         ++*metaFetches_;
         mem::Block bytes;
         nvm_->readBlock(maddr, bytes);
@@ -292,6 +344,7 @@ MemoryEngine::markDirty(Addr maddr)
 void
 MemoryEngine::writeThrough(Addr maddr)
 {
+    persistChainDepth_.add(1.0);
     maddr = blockAddr(blockOf(maddr));
     ++*persistWrites_;
     persistBytes(maddr, latestBytes(maddr));
@@ -302,6 +355,8 @@ MemoryEngine::writeThrough(Addr maddr)
 void
 MemoryEngine::writeThroughMany(const Addr *addrs, std::size_t n)
 {
+    if (n > 0)
+        persistChainDepth_.add(static_cast<double>(n));
     // latestBytes is unaffected by persists of other metadata blocks,
     // so snapshotting the whole chunk up front and batching the MACs
     // is state-identical to n scalar writeThrough calls.
@@ -452,6 +507,7 @@ MemoryEngine::reencryptPage(std::uint64_t counterIdx)
             mreqs[k] = {"", 0, tweak};
     }
     crypto_.hash->mac64xN(mreqs, m, macs);
+    trace_.instant(obs::EventClass::CryptoBatch, m);
     for (std::size_t k = 0; k < m; ++k) {
         const Addr haddr = map_.hmacAddrOf(addrs[k]);
         auto [it, fresh] = hmacLatest_.try_emplace(haddr);
@@ -547,6 +603,10 @@ MemoryEngine::read(Addr addr, std::uint8_t *out)
             }
         }
     }
+    if (trace_.on()) {
+        trace_.complete(obs::EventClass::Op, lat, addr, 0);
+        trace_.advance(lat);
+    }
     return lat;
 }
 
@@ -637,6 +697,12 @@ MemoryEngine::write(Addr addr, const std::uint8_t *data)
     }
     // Deferred, non-atomic per-write work (crashable boundaries).
     lat += postCommit(ctx);
+    mcacheDirtyOccupancy_.add(
+        static_cast<double>(mcache_.dirtyLines()));
+    if (trace_.on()) {
+        trace_.complete(obs::EventClass::Op, lat, addr, 1);
+        trace_.advance(lat);
+    }
     return lat;
 }
 
@@ -650,11 +716,13 @@ MemoryEngine::crash()
     // Volatile on-chip state vanishes; NVM and NV registers survive.
     mcache_.invalidateAll();
     crashed_ = true;
+    trace_.instant(obs::EventClass::Crash);
 }
 
 void
 MemoryEngine::rebuildAndVerify(RecoveryReport &report)
 {
+    trace_.begin(obs::EventClass::Recovery);
     tree_ = std::make_unique<bmt::TreeState>(map_, *crypto_.hash);
     const std::uint64_t root = tree_->rebuildFromNvm(*nvm_);
 
@@ -687,6 +755,7 @@ MemoryEngine::rebuildAndVerify(RecoveryReport &report)
     report.success = root == rootRegister_;
     if (report.success)
         crashed_ = false;
+    trace_.end(obs::EventClass::Recovery);
 }
 
 std::vector<Addr>

@@ -39,6 +39,12 @@
 #include "crypto/engines.hh"
 #include "mem/memory_map.hh"
 #include "mem/nvm_device.hh"
+#include "obs/trace.hh"
+
+namespace amnt::obs
+{
+class StatRegistry;
+}
 
 namespace amnt::mee
 {
@@ -150,6 +156,28 @@ class MemoryEngine
 
     /** Aggregate statistics. */
     const StatGroup &stats() const { return stats_; }
+
+    /** Mutable statistics (registry federation / reset-in-place). */
+    StatGroup &stats() { return stats_; }
+
+    /** Event tracer for this engine's track (obs/trace.hh). */
+    obs::Tracer &tracer() { return trace_; }
+
+    /**
+     * Dotted registry subpath of this engine: the protocol name by
+     * default; AMNT refines it with the subtree level ("amnt.l3") so
+     * sweep dumps separate configurations (DESIGN.md §11).
+     */
+    virtual std::string statPath() const;
+
+    /**
+     * Federate this engine's stats under `<prefix>.<statPath()>.*`
+     * plus the metadata cache under `<prefix>.mcache.*` and the
+     * observability histograms (persist-chain depth, metadata-cache
+     * dirty occupancy, host-side crypto batch times under `host.`).
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix);
 
     /** Metadata cache (for hit-rate reporting). */
     const cache::Cache &metaCache() const { return mcache_; }
@@ -358,6 +386,30 @@ class MemoryEngine
     std::unique_ptr<bmt::TreeState> tree_;
     cache::Cache mcache_;
     StatGroup stats_;
+
+    /** Per-engine event tracer (no-op unless AMNT_TRACE is set). */
+    obs::Tracer trace_;
+
+    /**
+     * Serialized persists per write-through chain (how deep the
+     * ordered persist chains the protocol issues are).
+     */
+    Histogram persistChainDepth_{1.0, 4097.0, 48,
+                                 Histogram::Scale::Log};
+
+    /**
+     * Metadata-cache dirty-line occupancy sampled at every data write
+     * (the engine's write-queue residency). Sized from the cache
+     * geometry in the constructor.
+     */
+    Histogram mcacheDirtyOccupancy_;
+
+    /**
+     * Host-side wall-clock nanoseconds per batched MAC burst. Only
+     * recorded under AMNT_OBS_TIMING=1 (host times are inherently
+     * nondeterministic); registered under the `host.` path prefix.
+     */
+    Histogram hostCryptoBatchNs_{1.0, 1e9, 90, Histogram::Scale::Log};
 
     /** Latest HMAC-block bytes (architectural). */
     FlatMap<Addr, mem::Block> hmacLatest_;

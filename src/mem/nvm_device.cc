@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "obs/registry.hh"
 
 namespace amnt::mem
 {
@@ -45,6 +46,16 @@ void
 NvmDevice::crash()
 {
     // Contents persist across a crash; nothing to discard here.
+}
+
+void
+NvmDevice::registerStats(obs::StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addScalar(prefix + ".reads", [this] { return reads_; });
+    reg.addScalar(prefix + ".writes", [this] { return writes_; });
+    reg.addScalar(prefix + ".blocks_touched",
+                  [this] { return store_.size(); });
 }
 
 } // namespace amnt::mem

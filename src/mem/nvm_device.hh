@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <string>
 
 #include "common/bitops.hh"
 #include "common/flat_map.hh"
@@ -27,6 +28,11 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "fault/fault.hh"
+
+namespace amnt::obs
+{
+class StatRegistry;
+}
 
 namespace amnt::mem
 {
@@ -150,6 +156,13 @@ class NvmDevice
 
     /** Number of distinct blocks ever written. */
     std::uint64_t blocksTouched() const { return store_.size(); }
+
+    /**
+     * Register traffic probes (`<prefix>.reads`, `.writes`,
+     * `.blocks_touched`) with a stats registry (obs/registry.hh).
+     */
+    void registerStats(obs::StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /**
      * Attach (or detach, with nullptr) a fault-injection domain.

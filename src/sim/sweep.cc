@@ -23,6 +23,7 @@ runJob(const Job &job)
     out.result = sys.run(job.instructions, job.warmup);
     if (job.config.recordAccessHistogram)
         out.accessHistogram = sys.accessHistogram();
+    out.statsJson = sys.statsJson();
 
     out.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -50,6 +50,15 @@ struct Outcome
 
     /** Copy of the frame histogram when the job recorded one. */
     std::unordered_map<PageId, std::uint64_t> accessHistogram;
+
+    /**
+     * Per-job registry snapshot (System::statsJson): the system's
+     * full federated stats as sorted JSON, captured after the run.
+     * Deterministic at any thread count — everything it contains is
+     * simulated state (host timings stay out unless AMNT_OBS_TIMING
+     * opts in, and those live under the `host.` prefix).
+     */
+    std::string statsJson;
 };
 
 /** Worker count: AMNT_SWEEP_THREADS, else hardware threads. */

@@ -85,6 +85,11 @@ System::System(const SystemConfig &config) : config_(config)
         llc_ = std::make_unique<cache::Cache>(*config.sharedLlc);
 
     cores_.resize(config.cores);
+
+    engine_->registerStats(registry_, "mee");
+    nvm_->registerStats(registry_, "nvm");
+    if (llc_)
+        registry_.addGroup("cache." + llc_->name(), &llc_->stats());
 }
 
 core::AmntEngine *
@@ -112,6 +117,8 @@ System::addProcess(const WorkloadConfig &workload)
             c.privateCaches.push_back(
                 std::make_unique<cache::Cache>(cc));
             path.push_back(c.privateCaches.back().get());
+            registry_.addGroup("cache." + cc.name,
+                               &c.privateCaches.back()->stats());
         }
         if (llc_)
             path.push_back(llc_.get());
@@ -120,6 +127,12 @@ System::addProcess(const WorkloadConfig &workload)
             path,
             [this](Addr a) { return engine_->read(a); },
             [this](Addr a) { return engine_->write(a); });
+
+        const std::string core_path = "core" + std::to_string(i);
+        c.hierarchy->registerStats(registry_, core_path);
+        registry_.addScalar(
+            core_path + ".page_faults",
+            [pt = c.pageTable.get()] { return pt->faults(); });
 
         // Initialization phase: programs allocate and touch their
         // core (hot) data structures up front, which is what makes

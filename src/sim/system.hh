@@ -22,6 +22,7 @@
 #include "cache/hierarchy.hh"
 #include "core/amnt.hh"
 #include "mee/engine.hh"
+#include "obs/registry.hh"
 #include "os/amntpp_allocator.hh"
 #include "os/page_table.hh"
 #include "sim/workload.hh"
@@ -126,6 +127,16 @@ class System
     /** AMNT engine accessor; nullptr for other protocols. */
     core::AmntEngine *amnt();
 
+    /**
+     * The federated stats registry: every component of this system
+     * registers at construction under stable dotted paths ("mee.*",
+     * "cache.*", "core<i>.*", "nvm.*"; DESIGN.md §11).
+     */
+    obs::StatRegistry &registry() { return registry_; }
+
+    /** One sorted JSON document of every registered statistic. */
+    std::string statsJson() const { return registry_.dumpJson(); }
+
   private:
     struct Core
     {
@@ -166,6 +177,7 @@ class System
     void advance(std::uint64_t n, std::uint64_t &daemon_clock);
 
     SystemConfig config_;
+    obs::StatRegistry registry_;
     std::unique_ptr<mem::NvmDevice> nvm_;
     std::unique_ptr<mee::MemoryEngine> engine_;
     std::unique_ptr<os::BuddyAllocator> allocator_;

@@ -44,16 +44,18 @@ TEST(StatGroup, DumpSortedAndPrefixed)
     EXPECT_EQ(s.dump("x."), "x.a 1\nx.b 2\n");
 }
 
-TEST(Histogram, BinningAndClamping)
+TEST(Histogram, BinningAndOutOfRangeAccounting)
 {
     Histogram h(0.0, 10.0, 10);
     h.add(0.5);
     h.add(9.5);
-    h.add(-3.0);  // clamps into bin 0
-    h.add(100.0); // clamps into last bin
+    h.add(-3.0);  // below lo: counted as underflow, not bin 0
+    h.add(100.0); // at/above hi: counted as overflow, not last bin
     EXPECT_EQ(h.count(), 4ull);
-    EXPECT_EQ(h.bins()[0], 2ull);
-    EXPECT_EQ(h.bins()[9], 2ull);
+    EXPECT_EQ(h.bins()[0], 1ull);
+    EXPECT_EQ(h.bins()[9], 1ull);
+    EXPECT_EQ(h.underflow(), 1ull);
+    EXPECT_EQ(h.overflow(), 1ull);
 }
 
 TEST(Histogram, MeanAndWeights)

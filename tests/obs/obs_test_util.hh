@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for the observability tests.
+ *
+ * The trace-conformance and registry tests validate real JSON
+ * documents (Chrome trace exports, StatRegistry dumps) without pulling
+ * a JSON library into the build. Coverage matches what those emitters
+ * produce: objects, arrays, strings with escapes, numbers, booleans
+ * and null. Parse errors throw std::runtime_error, which gtest
+ * surfaces as a test failure.
+ */
+
+#ifndef AMNT_TESTS_OBS_TEST_UTIL_HH
+#define AMNT_TESTS_OBS_TEST_UTIL_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace amnt::obstest
+{
+
+/** One parsed JSON value (tagged union, values owned by vectors). */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member by key, or nullptr. */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &kv : members) {
+            if (kv.first == key)
+                return &kv.second;
+        }
+        return nullptr;
+    }
+
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+
+    /** Object member by key; throws when absent. */
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        const JsonValue *v = find(key);
+        if (v == nullptr)
+            throw std::runtime_error("missing JSON key: " + key);
+        return *v;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        std::ostringstream os;
+        os << "JSON parse error at offset " << pos_ << ": " << why;
+        throw std::runtime_error(os.str());
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            parseLiteral("null");
+            return JsonValue{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *lit)
+    {
+        skipWs();
+        for (const char *p = lit; *p != '\0'; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("expected literal ") + lit);
+            ++pos_;
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            parseLiteral("true");
+            v.boolean = true;
+        } else {
+            parseLiteral("false");
+            v.boolean = false;
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWs();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end == start)
+            fail("expected a number");
+        pos_ += static_cast<std::size_t>(end - start);
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d;
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("dangling escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    v.text += e;
+                    break;
+                  case 'n':
+                    v.text += '\n';
+                    break;
+                  case 't':
+                    v.text += '\t';
+                    break;
+                  case 'r':
+                    v.text += '\r';
+                    break;
+                  case 'b':
+                    v.text += '\b';
+                    break;
+                  case 'f':
+                    v.text += '\f';
+                    break;
+                  case 'u': {
+                    // The emitters under test never write \u escapes;
+                    // accept and keep the raw digits for robustness.
+                    if (pos_ + 4 > text_.size())
+                        fail("truncated \\u escape");
+                    v.text += "\\u";
+                    v.text.append(text_, pos_, 4);
+                    pos_ += 4;
+                    break;
+                  }
+                  default:
+                    fail("unknown escape");
+                }
+            } else {
+                v.text += c;
+            }
+        }
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (consumeIf(']'))
+            return v;
+        while (true) {
+            v.items.push_back(parseValue());
+            if (consumeIf(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (consumeIf('}'))
+            return v;
+        while (true) {
+            JsonValue key = parseString();
+            expect(':');
+            v.members.emplace_back(std::move(key.text), parseValue());
+            if (consumeIf('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Parse a complete JSON document; throws std::runtime_error. */
+inline JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+/** Slurp a file; throws when it cannot be opened. */
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace amnt::obstest
+
+#endif // AMNT_TESTS_OBS_TEST_UTIL_HH

@@ -1,0 +1,170 @@
+/**
+ * Histogram percentile queries checked against a sorted-reference
+ * oracle: for nearest-rank percentile p over N samples the true
+ * answer is sorted[k-1] with k = max(1, ceil(p/100 * N)), and the
+ * histogram — which answers at bin granularity — must return exactly
+ * quantize(sorted[k-1]) for both Linear and Log scales, with
+ * out-of-range samples resolved to the lo/hi edges. Randomized over
+ * tens of thousands of samples plus the degenerate edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace amnt;
+
+namespace
+{
+
+const double kPercentiles[] = {0.5,  1.0,  10.0, 25.0, 50.0,
+                               75.0, 90.0, 95.0, 99.0, 99.9,
+                               100.0};
+
+/** Nearest-rank oracle: the percentile in the quantized domain. */
+double
+oracle(const Histogram &h, std::vector<double> sorted, double p)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = static_cast<double>(sorted.size());
+    const auto k = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(p / 100.0 * n)));
+    return h.quantize(sorted[k - 1]);
+}
+
+void
+expectMatchesOracle(const Histogram &h,
+                    const std::vector<double> &samples)
+{
+    for (double p : kPercentiles) {
+        EXPECT_EQ(h.percentile(p), oracle(h, samples, p))
+            << "p" << p << " over " << samples.size() << " samples";
+    }
+}
+
+TEST(HistogramPercentiles, LogBinsMatchSortedOracle)
+{
+    // Long-tailed latency-style distribution spanning ~7 decades,
+    // including mass below lo (underflow) and above hi (overflow).
+    Histogram h(1.0, 1e6, 60, Histogram::Scale::Log);
+    Rng rng(0xbeef);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = std::exp(rng.uniform() * 16.0 - 1.0);
+        samples.push_back(v);
+        h.add(v);
+    }
+    ASSERT_EQ(h.count(), samples.size());
+    EXPECT_GT(h.overflow(), 0u);
+    EXPECT_GT(h.underflow(), 0u);
+    expectMatchesOracle(h, samples);
+}
+
+TEST(HistogramPercentiles, LinearBinsMatchSortedOracle)
+{
+    Histogram h(0.0, 100.0, 37, Histogram::Scale::Linear);
+    Rng rng(0xcafe);
+    std::vector<double> samples;
+    for (int i = 0; i < 15000; ++i) {
+        // Uniform over [-10, 110): both tails spill out of range.
+        const double v = rng.uniform() * 120.0 - 10.0;
+        samples.push_back(v);
+        h.add(v);
+    }
+    EXPECT_GT(h.underflow(), 0u);
+    EXPECT_GT(h.overflow(), 0u);
+    expectMatchesOracle(h, samples);
+}
+
+TEST(HistogramPercentiles, WeightedSamplesMatchExpandedOracle)
+{
+    Histogram h(1.0, 4097.0, 24, Histogram::Scale::Log);
+    Rng rng(0xd00d);
+    std::vector<double> expanded;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = 1.0 + rng.uniform() * 5000.0;
+        const std::uint64_t w = 1 + rng.below(8);
+        h.add(v, w);
+        for (std::uint64_t j = 0; j < w; ++j)
+            expanded.push_back(v);
+    }
+    ASSERT_EQ(h.count(), expanded.size());
+    expectMatchesOracle(h, expanded);
+}
+
+TEST(HistogramPercentiles, EmptyHistogramReportsZero)
+{
+    Histogram h(1.0, 100.0, 8, Histogram::Scale::Log);
+    EXPECT_EQ(h.count(), 0u);
+    for (double p : kPercentiles)
+        EXPECT_EQ(h.percentile(p), 0.0);
+}
+
+TEST(HistogramPercentiles, SingleSampleDominatesEveryPercentile)
+{
+    Histogram h(1.0, 1e4, 16, Histogram::Scale::Log);
+    h.add(137.0);
+    for (double p : kPercentiles)
+        EXPECT_EQ(h.percentile(p), h.quantize(137.0));
+}
+
+TEST(HistogramPercentiles, AllOverflowResolvesToHi)
+{
+    Histogram h(1.0, 100.0, 8);
+    for (int i = 0; i < 50; ++i)
+        h.add(1000.0 + i);
+    EXPECT_EQ(h.overflow(), 50u);
+    EXPECT_EQ(h.count(), 50u);
+    for (double p : kPercentiles)
+        EXPECT_EQ(h.percentile(p), 100.0);
+}
+
+TEST(HistogramPercentiles, AllUnderflowResolvesToLo)
+{
+    Histogram h(10.0, 100.0, 8);
+    for (int i = 0; i < 50; ++i)
+        h.add(-static_cast<double>(i));
+    EXPECT_EQ(h.underflow(), 50u);
+    for (double p : kPercentiles)
+        EXPECT_EQ(h.percentile(p), 10.0);
+}
+
+TEST(HistogramPercentiles, OutOfRangeStaysOutOfBins)
+{
+    // The regression the oracle suite pins down: out-of-range samples
+    // used to clamp into the edge bins and skew tail percentiles.
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 9; ++i)
+        h.add(5.0);
+    h.add(1e9);
+    std::uint64_t binned = 0;
+    for (std::uint64_t b : h.bins())
+        binned += b;
+    EXPECT_EQ(binned, 9u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.percentile(90.0), h.quantize(5.0));
+    EXPECT_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(HistogramPercentiles, ResetForgetsSamplesKeepsGeometry)
+{
+    Histogram h(1.0, 1e3, 12, Histogram::Scale::Log);
+    h.add(-5.0);
+    h.add(50.0);
+    h.add(5e6);
+    ASSERT_EQ(h.count(), 3u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+    h.add(50.0);
+    EXPECT_EQ(h.percentile(50.0), h.quantize(50.0));
+}
+
+} // namespace
