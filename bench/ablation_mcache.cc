@@ -37,6 +37,7 @@ main(int argc, char **argv)
         jobs.push_back(
             makeJob(mk(mee::Protocol::Amnt), {w}, instr, warmup));
     }
+    applyWorkloadOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
 
     TextTable table;

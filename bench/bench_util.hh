@@ -28,7 +28,19 @@
  *                       "stats" object in the JSON rows
  *
  * Every harness also accepts `--json <path>` (overrides the
- * environment variable).
+ * environment variable), plus a workload override:
+ *   --workload=NAME  run the whole protocol/config matrix on this
+ *                    one workload (PARSEC, SPEC, or synthetic
+ *                    preset: zipfian gups stream kvstore chase)
+ *   --trace=PATH     same, replaying a recorded trace (sim/traceio/);
+ *                    combine with --workload=NAME to reproduce the
+ *                    recording workload's pre-ROI hot-page
+ *                    initialization (required for bit-identical
+ *                    record/replay stats)
+ * The override substitutes every process of every job, so row labels
+ * keep the harness's own naming while all rows measure the chosen
+ * workload. Recording is orthogonal: AMNT_TRACE_RECORD=<path>
+ * captures every simulated run (see sim/system.hh).
  */
 
 #ifndef AMNT_BENCH_BENCH_UTIL_HH
@@ -36,10 +48,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/env.hh"
+#include "common/log.hh"
 #include "common/table.hh"
 #include "sim/presets.hh"
 #include "sim/sweep.hh"
@@ -98,6 +112,73 @@ figureProtocols()
         mee::Protocol::Amnt,
     };
     return p;
+}
+
+/**
+ * Parse a `--workload=NAME` / `--trace=PATH` override (both `=` and
+ * two-token spellings). Returns the override workload, or nullopt
+ * when neither flag is present; fatal on conflicting or malformed
+ * flags. Named workloads are resolved across every suite and scaled
+ * like the harness presets (AMNT_BENCH_SCALE).
+ */
+inline std::optional<sim::WorkloadConfig>
+workloadOverride(int argc, char **argv)
+{
+    std::string workload, trace;
+    auto grab = [&](const std::string &arg, const char *flag,
+                    int i, std::string &out) {
+        const std::string eq = std::string(flag) + "=";
+        if (arg.rfind(eq, 0) == 0) {
+            out = arg.substr(eq.size());
+            return true;
+        }
+        if (arg == flag) {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            out = argv[i + 1];
+            return true;
+        }
+        return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        grab(arg, "--workload", i, workload) ||
+            grab(arg, "--trace", i, trace);
+    }
+    if (!trace.empty()) {
+        // --workload alongside --trace names the recording workload:
+        // its parameters shape the pre-ROI hot-page initialization,
+        // which replay must repeat for bit-identical stats.
+        sim::WorkloadConfig w =
+            workload.empty() ? sim::WorkloadConfig{}
+                             : scaled(sim::namedWorkload(workload));
+        w.name = "trace:" + trace;
+        w.traceFile = trace;
+        return w;
+    }
+    if (!workload.empty())
+        return scaled(sim::namedWorkload(workload));
+    return std::nullopt;
+}
+
+/**
+ * Apply the `--workload=` / `--trace=` override to a built job
+ * matrix: every process of every job runs the override instead of
+ * the harness's preset (protocols, core counts, and system configs
+ * are untouched). No-op without the flags.
+ */
+inline void
+applyWorkloadOverride(std::vector<sweep::Job> &jobs, int argc,
+                      char **argv)
+{
+    const std::optional<sim::WorkloadConfig> over =
+        workloadOverride(argc, argv);
+    if (!over)
+        return;
+    for (sweep::Job &job : jobs) {
+        for (sim::WorkloadConfig &w : job.processes)
+            w = *over;
+    }
 }
 
 /**

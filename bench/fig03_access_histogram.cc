@@ -88,6 +88,7 @@ main(int argc, char **argv)
                                 scaled(sim::specPreset("lbm"))},
                                instr, warmup));
     }
+    applyWorkloadOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
 
     // Both jobs share the 8 GB map, so the level-3 region width is a

@@ -41,6 +41,7 @@ main(int argc, char **argv)
             jobs.push_back(
                 makeJob(paperSystem(p, 4), procs, instr, warmup));
     }
+    applyWorkloadOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
     const std::size_t stride = 1 + figureProtocols().size();
 

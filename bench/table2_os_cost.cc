@@ -33,6 +33,7 @@ main(int argc, char **argv)
         pp.amntpp = true;
         jobs.push_back(makeJob(pp, procs, instr, warmup));
     }
+    applyWorkloadOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
 
     TextTable table;

@@ -96,6 +96,55 @@ lookup(const std::unordered_map<std::string, P> &table,
     return build(name, it->second);
 }
 
+/**
+ * The synthetic generator suite. Intensities and footprints are
+ * chosen so every kind is memory-bound at bench scale; the write
+ * fractions follow the archetypes (GUPS pairs are inherently 50%
+ * writes regardless of the knob).
+ */
+WorkloadConfig
+buildSynthetic(const std::string &name, WorkloadKind kind)
+{
+    WorkloadConfig w = build(name, {65536, 0.15, 0.30, 0.05, 0.7,
+                                    0.8, 0.9, 0.0, 0.0, 0});
+    w.kind = kind;
+    switch (kind) {
+      case WorkloadKind::Zipfian:
+        w.zipfAlpha = 0.99;
+        break;
+      case WorkloadKind::Gups:
+        w.footprintPages = 131072;
+        w.memIntensity = 0.20;
+        break;
+      case WorkloadKind::Stream:
+        w.memIntensity = 0.25;
+        break;
+      case WorkloadKind::KeyValue:
+        w.writeFraction = 0.20; // put share
+        w.zipfAlpha = 0.9;
+        w.kvValueBlocks = 4;
+        // Storage semantics: every put block persists immediately.
+        w.flushWriteFraction = 1.0;
+        break;
+      case WorkloadKind::PointerChase:
+        w.footprintPages = 131072;
+        w.memIntensity = 0.30;
+        w.writeFraction = 0.10;
+        break;
+      default:
+        break;
+    }
+    return w;
+}
+
+const std::unordered_map<std::string, WorkloadKind> kSynthetic = {
+    {"zipfian", WorkloadKind::Zipfian},
+    {"gups", WorkloadKind::Gups},
+    {"stream", WorkloadKind::Stream},
+    {"kvstore", WorkloadKind::KeyValue},
+    {"chase", WorkloadKind::PointerChase},
+};
+
 } // namespace
 
 WorkloadConfig
@@ -108,6 +157,30 @@ WorkloadConfig
 specPreset(const std::string &name)
 {
     return lookup(kSpec, name, "SPEC CPU2017");
+}
+
+WorkloadConfig
+syntheticPreset(const std::string &name)
+{
+    auto it = kSynthetic.find(name);
+    if (it == kSynthetic.end())
+        fatal("unknown synthetic workload '%s'", name.c_str());
+    return buildSynthetic(name, it->second);
+}
+
+WorkloadConfig
+namedWorkload(const std::string &name)
+{
+    if (kParsec.count(name) != 0)
+        return parsecPreset(name);
+    if (kSpec.count(name) != 0)
+        return specPreset(name);
+    if (kSynthetic.count(name) != 0)
+        return syntheticPreset(name);
+    fatal("unknown workload '%s' (not a PARSEC, SPEC CPU2017, or "
+          "synthetic preset; synthetic: zipfian gups stream kvstore "
+          "chase)",
+          name.c_str());
 }
 
 const std::vector<std::string> &
@@ -131,6 +204,15 @@ parsecMultiprogramPairs()
             {"x264", "freqmine"},
         };
     return pairs;
+}
+
+const std::vector<std::string> &
+syntheticBenchmarks()
+{
+    static const std::vector<std::string> order = {
+        "zipfian", "gups", "stream", "kvstore", "chase",
+    };
+    return order;
 }
 
 const std::vector<std::string> &

@@ -30,6 +30,21 @@ WorkloadConfig parsecPreset(const std::string &name);
 /** SPEC CPU2017 preset by benchmark name; fatal on unknown names. */
 WorkloadConfig specPreset(const std::string &name);
 
+/**
+ * Microbenchmark-generator preset by name ("zipfian", "gups",
+ * "stream", "kvstore", "chase"); fatal on unknown names. These are
+ * the WorkloadKind families of sim/workload.hh at calibrated default
+ * parameters.
+ */
+WorkloadConfig syntheticPreset(const std::string &name);
+
+/**
+ * Resolve @p name against every suite — PARSEC, then SPEC CPU2017,
+ * then the synthetic generators; fatal (listing the suites) when no
+ * suite knows it. This is what `--workload=` feeds.
+ */
+WorkloadConfig namedWorkload(const std::string &name);
+
 /** The PARSEC benchmarks of Figure 4, in the paper's order. */
 const std::vector<std::string> &parsecBenchmarks();
 
@@ -39,6 +54,9 @@ parsecMultiprogramPairs();
 
 /** The SPEC benchmarks of Figure 8. */
 const std::vector<std::string> &specBenchmarks();
+
+/** The synthetic generator presets, in suite order. */
+const std::vector<std::string> &syntheticBenchmarks();
 
 } // namespace amnt::sim
 

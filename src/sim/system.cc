@@ -1,9 +1,35 @@
 #include "sim/system.hh"
 
+#include <atomic>
+#include <cstdlib>
+
 #include "common/log.hh"
 
 namespace amnt::sim
 {
+
+namespace
+{
+
+/**
+ * AMNT_TRACE_RECORD destination for this System instance: the first
+ * recording system of the process gets the bare path, later ones get
+ * `.2`, `.3`, … so independent sweep jobs never share a file.
+ */
+std::string
+envRecordPath()
+{
+    const char *base = std::getenv("AMNT_TRACE_RECORD");
+    if (base == nullptr || base[0] == '\0')
+        return "";
+    static std::atomic<std::uint64_t> instances{0};
+    const std::uint64_t n = ++instances;
+    if (n == 1)
+        return base;
+    return std::string(base) + "." + std::to_string(n);
+}
+
+} // namespace
 
 SystemConfig
 SystemConfig::singleProgram(mee::Protocol p)
@@ -51,6 +77,8 @@ System::System(const SystemConfig &config) : config_(config)
 {
     if (config.cores == 0)
         fatal("system needs at least one core");
+    if (config_.traceRecordPath.empty())
+        config_.traceRecordPath = envRecordPath();
 
     mee::MeeConfig mee_cfg = config.mee;
     const mem::MemoryMap probe(mee_cfg.dataBytes);
@@ -110,6 +138,16 @@ System::addProcess(const WorkloadConfig &workload)
         c.pageTable = std::make_unique<os::PageTable>(*allocator_);
         c.rng.reseed(workload.seed ^ (0xc0feULL + i));
 
+        if (!config_.traceRecordPath.empty()) {
+            const std::string path =
+                cores_.size() == 1
+                    ? config_.traceRecordPath
+                    : config_.traceRecordPath + ".core" +
+                          std::to_string(i);
+            c.recorder =
+                std::make_unique<traceio::TraceWriter>(path);
+        }
+
         std::vector<cache::Cache *> path;
         for (const auto &level : config_.privateLevels) {
             cache::CacheConfig cc = level;
@@ -166,11 +204,23 @@ System::step(Core &c)
 {
     ++c.instructions;
     c.cycles += config_.baseCpi;
+    ++c.refGap;
 
-    if (!c.workload->issuesMemRef(c.rng))
+    // Timed trace replay drives issue off the recorded instruction
+    // gaps; generators (and untimed v1 traces) are gated by the
+    // workload's memory intensity.
+    if (c.workload->timedReplay()) {
+        if (!c.workload->replayTick())
+            return;
+    } else if (!c.workload->issuesMemRef(c.rng)) {
         return;
+    }
 
     const MemRef ref = c.workload->next();
+    if (c.recorder != nullptr) {
+        c.recorder->append(ref, c.refGap);
+        c.refGap = 0;
+    }
     if (ref.churnPage)
         c.pageTable->unmapPage(ref.churnVictim);
 
@@ -248,6 +298,14 @@ System::run(std::uint64_t instructions_per_core,
     const Snapshot before = snapshot();
     advance(instructions_per_core, daemon_clock);
     const Snapshot after = snapshot();
+
+    // Seal each recording with the run's silent tail so a looped
+    // replay reproduces the instruction positions past the last
+    // reference (the end-of-trace marker is written on close).
+    for (auto &c : cores_) {
+        if (c.recorder != nullptr)
+            c.recorder->noteTail(c.refGap);
+    }
 
     RunResult res;
     for (std::size_t i = 0; i < cores_.size(); ++i) {

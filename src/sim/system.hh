@@ -25,6 +25,7 @@
 #include "obs/registry.hh"
 #include "os/amntpp_allocator.hh"
 #include "os/page_table.hh"
+#include "sim/traceio/writer.hh"
 #include "sim/workload.hh"
 
 namespace amnt::sim
@@ -64,6 +65,20 @@ struct SystemConfig
 
     /** Record a physical-frame access histogram (Figure 3). */
     bool recordAccessHistogram = false;
+
+    /**
+     * When non-empty, record every core's reference stream (warm-up
+     * included) as a v2 trace (sim/traceio/): core 0 writes exactly
+     * this path on a single-core system, and `<path>.core<i>` per
+     * core otherwise. Left empty, the AMNT_TRACE_RECORD environment
+     * variable fills it in at construction (the second and later
+     * System instances of the process then append `.2`, `.3`, … so
+     * sweep jobs do not clobber each other; record single jobs, or
+     * set AMNT_SWEEP_THREADS=1, for stable numbering). Recording
+     * only observes: the run itself is bit-identical with it on or
+     * off.
+     */
+    std::string traceRecordPath;
 
     /** Canonical single-program config (paper section 6 defaults). */
     static SystemConfig singleProgram(mee::Protocol p);
@@ -147,6 +162,12 @@ class System
         Rng rng{1};
         Cycle cycles = 0;
         std::uint64_t instructions = 0;
+
+        /** Trace recording sink (null unless recording). */
+        std::unique_ptr<traceio::TraceWriter> recorder;
+
+        /** Instructions since this core's last reference. */
+        std::uint64_t refGap = 0;
     };
 
     /** Advance one instruction on core @p c. */

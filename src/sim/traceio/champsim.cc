@@ -1,0 +1,97 @@
+#include "sim/traceio/champsim.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/bitops.hh"
+#include "sim/traceio/writer.hh"
+
+namespace amnt::sim::traceio
+{
+
+namespace
+{
+
+// Offsets inside one 64 B ChampSim record (all fields little-endian):
+// u64 ip; u8 is_branch; u8 branch_taken; u8 dst_regs[2];
+// u8 src_regs[4]; u64 dst_mem[2]; u64 src_mem[4].
+constexpr std::size_t kDstMemOffset = 16;
+constexpr std::size_t kSrcMemOffset = 32;
+constexpr std::size_t kDstMemCount = 2;
+constexpr std::size_t kSrcMemCount = 4;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+
+} // namespace
+
+std::string
+importChampSim(const std::string &in, const std::string &out,
+               ImportStats *stats)
+{
+    std::unique_ptr<std::FILE, FileCloser> file(
+        std::fopen(in.c_str(), "rb"));
+    if (file == nullptr)
+        return "'" + in + "': cannot open ChampSim trace";
+
+    ImportStats local;
+    std::uint64_t gap = 0; ///< instructions since the last reference
+    {
+        TraceWriter writer(out);
+        std::uint8_t rec[kChampSimRecordBytes];
+        for (;;) {
+            const std::size_t got =
+                std::fread(rec, 1, sizeof(rec), file.get());
+            if (got == 0)
+                break;
+            if (got != sizeof(rec)) {
+                std::remove(out.c_str());
+                return "'" + in +
+                       "': truncated ChampSim instruction record " +
+                       std::to_string(local.instructions);
+            }
+            ++local.instructions;
+            ++gap;
+
+            // Reads before writes, matching execution order.
+            auto emit = [&](Addr vaddr, bool is_write) {
+                MemRef ref;
+                ref.vaddr = vaddr;
+                ref.type = is_write ? AccessType::Write
+                                    : AccessType::Read;
+                writer.append(ref, gap == 0 ? 1 : gap);
+                gap = 0;
+                ++local.records;
+                ++(is_write ? local.writes : local.reads);
+            };
+            for (std::size_t i = 0; i < kSrcMemCount; ++i) {
+                const Addr a =
+                    load64le(rec + kSrcMemOffset + 8 * i);
+                if (a != 0)
+                    emit(a, false);
+            }
+            for (std::size_t i = 0; i < kDstMemCount; ++i) {
+                const Addr a =
+                    load64le(rec + kDstMemOffset + 8 * i);
+                if (a != 0)
+                    emit(a, true);
+            }
+        }
+    }
+    if (local.instructions == 0) {
+        std::remove(out.c_str());
+        return "'" + in + "': ChampSim trace holds no instructions";
+    }
+    if (local.records == 0) {
+        std::remove(out.c_str());
+        return "'" + in +
+               "': ChampSim trace holds no memory references";
+    }
+    if (stats != nullptr)
+        *stats = local;
+    return "";
+}
+
+} // namespace amnt::sim::traceio

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ChampSim trace importer: converts the fixed 64-byte-per-instruction
+ * ChampSim format into the native v2 trace (format.hh).
+ *
+ * A ChampSim record is one retired instruction: instruction pointer,
+ * branch metadata, register lists, then up to 2 destination and 4
+ * source memory operands (zero = unused). The importer turns every
+ * non-zero source operand into a read and every non-zero destination
+ * operand into a write, preserving instruction gaps: the first
+ * operand of an instruction carries the distance (in instructions)
+ * from the previous memory-referencing instruction, and additional
+ * operands of the same instruction follow at gap 1 — our simulator
+ * issues at most one reference per instruction, so a multi-operand
+ * instruction replays as a dense burst of adjacent instructions.
+ *
+ * Input must be uncompressed (xz/gzip captures need decompressing
+ * first). Import is streaming: O(1) memory at any trace size.
+ */
+
+#ifndef AMNT_SIM_TRACEIO_CHAMPSIM_HH
+#define AMNT_SIM_TRACEIO_CHAMPSIM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace amnt::sim::traceio
+{
+
+/** Byte size of one ChampSim instruction record. */
+inline constexpr std::size_t kChampSimRecordBytes = 64;
+
+/** Import counters, for reporting. */
+struct ImportStats
+{
+    std::uint64_t instructions = 0; ///< ChampSim records consumed
+    std::uint64_t records = 0;      ///< native records written
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * Convert the ChampSim trace at @p in into a native v2 trace at
+ * @p out. Returns an empty string on success, otherwise a
+ * description of the defect (missing/truncated input, no memory
+ * references); on failure the output file is not left behind.
+ */
+std::string importChampSim(const std::string &in,
+                           const std::string &out,
+                           ImportStats *stats = nullptr);
+
+} // namespace amnt::sim::traceio
+
+#endif // AMNT_SIM_TRACEIO_CHAMPSIM_HH

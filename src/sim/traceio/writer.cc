@@ -1,0 +1,69 @@
+#include "sim/traceio/writer.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "sim/traceio/format.hh"
+
+namespace amnt::sim::traceio
+{
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path)
+{
+    if (file_ == nullptr)
+        fatal("cannot open trace '%s' for writing", path.c_str());
+    std::uint8_t header[kHeaderBytes] = {};
+    std::memcpy(header, kMagicV2, sizeof(kMagicV2));
+    header[8] = kVersion2;
+    if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header))
+        fatal("short write on trace header '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_ == nullptr)
+        return;
+    // Seal the stream: a bare kind-3 flags byte plus the tail gap.
+    std::uint8_t rec[1 + kMaxVarintBytes];
+    rec[0] = kKindEnd;
+    const std::size_t n = 1 + putVarint(rec + 1, tailGap_);
+    if (std::fwrite(rec, 1, n, file_) != n)
+        fatal("short write on trace end marker '%s'", path_.c_str());
+    std::fclose(file_);
+}
+
+void
+TraceWriter::append(const MemRef &ref, std::uint64_t gap)
+{
+    // flags + gap + delta + optional victim.
+    std::uint8_t rec[1 + 3 * kMaxVarintBytes];
+    std::uint8_t flags = ref.type == AccessType::Write
+                             ? (ref.flush ? kKindFlush : kKindWrite)
+                             : kKindRead;
+    if (ref.churnPage)
+        flags |= kFlagChurn;
+    std::size_t n = 0;
+    rec[n++] = flags;
+    n += putVarint(rec + n, gap);
+    n += putVarint(rec + n,
+                   zigzagEncode(static_cast<std::int64_t>(
+                       ref.vaddr - prevVaddr_)));
+    if (ref.churnPage)
+        n += putVarint(rec + n, ref.churnVictim);
+    if (std::fwrite(rec, 1, n, file_) != n)
+        fatal("short write on trace record '%s'", path_.c_str());
+    prevVaddr_ = ref.vaddr;
+    ++count_;
+}
+
+std::uint64_t
+recordTrace(Workload &source, std::uint64_t n, const std::string &path)
+{
+    TraceWriter writer(path);
+    for (std::uint64_t i = 0; i < n; ++i)
+        writer.append(source.next());
+    return writer.count();
+}
+
+} // namespace amnt::sim::traceio

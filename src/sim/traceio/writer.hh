@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Streaming trace writer: appends v2 varint records (format.hh) to a
+ * file with O(1) memory, delta-encoding addresses against the
+ * previous record.
+ */
+
+#ifndef AMNT_SIM_TRACEIO_WRITER_HH
+#define AMNT_SIM_TRACEIO_WRITER_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sim/workload.hh"
+
+namespace amnt::sim::traceio
+{
+
+/** Streams references into a v2 trace file. */
+class TraceWriter
+{
+  public:
+    /** Opens (truncates) @p path and writes the header; fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /**
+     * Append one reference. @p gap is the number of instructions
+     * since the previous reference, counting the referencing
+     * instruction itself (so consecutive references have gap 1);
+     * standalone captures that have no instruction stream use the
+     * default.
+     */
+    void append(const MemRef &ref, std::uint64_t gap = 1);
+
+    /**
+     * Instructions executed since the last reference (the stream's
+     * silent tail). Written into the end-of-trace marker on close;
+     * call again to update — the latest value wins.
+     */
+    void noteTail(std::uint64_t gap) { tailGap_ = gap; }
+
+    /** Records written so far (the end marker is not a record). */
+    std::uint64_t count() const { return count_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::FILE *file_;
+    std::string path_;
+    Addr prevVaddr_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t tailGap_ = 0;
+};
+
+/**
+ * Record @p n references from a generator into @p path with unit
+ * gaps. Returns the number written.
+ */
+std::uint64_t recordTrace(Workload &source, std::uint64_t n,
+                          const std::string &path);
+
+} // namespace amnt::sim::traceio
+
+#endif // AMNT_SIM_TRACEIO_WRITER_HH

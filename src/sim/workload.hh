@@ -1,6 +1,6 @@
 /**
  * @file
- * Synthetic workload generation.
+ * Synthetic workload generation and trace replay.
  *
  * The metadata-persistence protocols under study are sensitive only
  * to the stream of (virtual address, read/write) references and its
@@ -10,6 +10,20 @@
  * sequential streaming component, and optional page churn (frees that
  * exercise OS reclamation). Presets calibrated to the per-benchmark
  * behaviour the paper reports live in sim/presets.cc.
+ *
+ * Beyond the calibrated Synthetic generator, five microbenchmark
+ * kinds widen the access-pattern space (WorkloadKind): footprint-wide
+ * Zipfian hot/cold, GUPS-style random read-modify-write, STREAM-style
+ * sequential with a configurable write share, a Zipf-keyed key-value
+ * get/put mix, and a permutation-walk pointer chase. A workload can
+ * also replay a recorded trace (sim/traceio/) instead of
+ * synthesizing.
+ *
+ * Determinism contract (locked by tests/sim/test_sweep.cc): every
+ * draw a generator makes flows through the instance's own rng_ seeded
+ * from WorkloadConfig::seed — no global or static randomness — so a
+ * workload's reference stream depends only on its own config, never
+ * on which other workloads run in the same process or sweep.
  */
 
 #ifndef AMNT_SIM_WORKLOAD_HH
@@ -25,10 +39,44 @@
 namespace amnt::sim
 {
 
+/** Address-stream generator family. */
+enum class WorkloadKind : std::uint8_t
+{
+    /** Calibrated benchmark model (hot cluster + stream + runs). */
+    Synthetic,
+
+    /** Zipf(zipfAlpha) popularity over the whole footprint, ranks
+     *  scattered across the address space (hot/cold skew without
+     *  spatial clustering). */
+    Zipfian,
+
+    /** GUPS-style random update: uniform random block, read then
+     *  write of the same block (exact read-modify-write pairs). */
+    Gups,
+
+    /** STREAM-style sequential sweeps: reads walk the lower half of
+     *  the footprint, writes walk the upper half; writeFraction sets
+     *  the write share. */
+    Stream,
+
+    /** Key-value get/put mix: Zipf-popular keys map to
+     *  kvValueBlocks-block values read/written sequentially;
+     *  writeFraction is the put share. */
+    KeyValue,
+
+    /** Pointer chase: a full-period permutation walk over a
+     *  power-of-two block set (lat_mem_rd-style scrambled linked
+     *  list); writeFraction marks nodes in place. */
+    PointerChase,
+};
+
 /** Generator parameters for one benchmark. */
 struct WorkloadConfig
 {
     std::string name = "synthetic";
+
+    /** Which generator family produces the stream. */
+    WorkloadKind kind = WorkloadKind::Synthetic;
 
     /** Virtual footprint in 4 KB pages. */
     std::uint64_t footprintPages = 16 * 1024;
@@ -48,7 +96,8 @@ struct WorkloadConfig
     /** Fraction of writes directed at the hot cluster. */
     double writeHotFraction = 0.8;
 
-    /** Zipf skew inside the hot cluster (0 = uniform). */
+    /** Zipf skew inside the hot cluster (0 = uniform); for the
+     *  Zipfian and KeyValue kinds, the skew of the whole key space. */
     double zipfAlpha = 0.8;
 
     /** Fraction of references that stream sequentially. */
@@ -78,11 +127,16 @@ struct WorkloadConfig
      */
     double flushWriteFraction = 0.0;
 
+    /** Value size of the KeyValue kind, in 64 B blocks. */
+    std::uint64_t kvValueBlocks = 4;
+
     /**
-     * When non-empty, replay this recorded trace (see sim/trace.hh)
+     * When non-empty, replay this recorded trace (see sim/traceio/)
      * instead of synthesizing references; the trace wraps around at
-     * its end. Generator parameters other than memIntensity are
-     * ignored in trace mode.
+     * its end. v2 traces replay timed (the recorded instruction gaps
+     * gate issue); v1 traces are gated by memIntensity as generators
+     * are. Generator parameters other than memIntensity are ignored
+     * in trace mode.
      */
     std::string traceFile;
 
@@ -104,7 +158,11 @@ struct MemRef
     PageId churnVictim = 0;
 };
 
+namespace traceio
+{
 class TraceReader;
+struct TraceRecord;
+} // namespace traceio
 
 /** Deterministic address-stream generator (or trace replayer). */
 class Workload
@@ -123,10 +181,31 @@ class Workload
         return core_rng.chance(config_.memIntensity);
     }
 
+    /**
+     * True when this workload replays a timed (v2) trace: reference
+     * issue is then driven by replayTick(), not issuesMemRef().
+     */
+    bool timedReplay() const;
+
+    /**
+     * Timed replay only: account one executed instruction. Returns
+     * true when the trace schedules a reference on this instruction
+     * (fetch it with next()).
+     */
+    bool replayTick();
+
     const WorkloadConfig &config() const { return config_; }
 
   private:
     Addr pickPage(bool is_write);
+    MemRef nextSynthetic();
+    MemRef nextZipfian();
+    MemRef nextGups();
+    MemRef nextStream();
+    MemRef nextKeyValue();
+    MemRef nextPointerChase();
+    MemRef nextFromTrace();
+    void prefetchTrace();
 
     WorkloadConfig config_;
     Rng rng_;
@@ -135,7 +214,33 @@ class Workload
     std::uint64_t streamPos_ = 0;
     Addr lastVaddr_ = 0;
     std::uint64_t refs_ = 0;
-    std::unique_ptr<TraceReader> trace_;
+
+    // Zipfian / KeyValue: popularity over the whole footprint.
+    std::unique_ptr<ZipfSampler> fullZipf_;
+
+    // Gups: second half of the current read-modify-write pair.
+    bool gupsWritePending_ = false;
+    Addr gupsAddr_ = 0;
+
+    // Stream: independent read and write cursors.
+    Addr streamReadPos_ = 0;
+    Addr streamWritePos_ = 0;
+
+    // KeyValue: remaining blocks of the op in flight.
+    std::uint64_t kvSlots_ = 0;
+    std::uint64_t kvRemaining_ = 0;
+    Addr kvNextAddr_ = 0;
+    bool kvIsPut_ = false;
+
+    // PointerChase: k-bit LCG state walking a block permutation.
+    std::uint64_t chaseState_ = 0;
+    std::uint64_t chaseMask_ = 0;
+    std::uint64_t chaseInc_ = 1;
+
+    // Trace replay.
+    std::unique_ptr<traceio::TraceReader> trace_;
+    std::unique_ptr<traceio::TraceRecord> pending_;
+    std::uint64_t replayCountdown_ = 0;
 };
 
 } // namespace amnt::sim

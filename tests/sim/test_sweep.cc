@@ -94,6 +94,69 @@ TEST(Sweep, OutcomesComeBackInSubmissionOrder)
                   1000 * (i + 1));
 }
 
+/** One small job per microbenchmark generator. */
+std::vector<sweep::Job>
+syntheticJobs()
+{
+    std::vector<sweep::Job> jobs;
+    for (const char *name :
+         {"zipfian", "gups", "stream", "kvstore", "chase"}) {
+        sim::WorkloadConfig w = sim::syntheticPreset(name);
+        w.footprintPages = 256;
+        sweep::Job job;
+        job.config =
+            sim::SystemConfig::singleProgram(mee::Protocol::Amnt);
+        job.processes = {w};
+        job.instructions = 15000;
+        job.warmup = 3000;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+TEST(Sweep, MicrobenchmarkGeneratorsAreThreadCountInvariant)
+{
+    // The determinism contract for the WorkloadKind generators: the
+    // full registry dump of every job is byte-identical whether jobs
+    // run serially or share the process with three worker threads.
+    const std::vector<sweep::Job> jobs = syntheticJobs();
+    const std::vector<sweep::Outcome> serial = sweep::run(jobs, 1);
+    const std::vector<sweep::Outcome> parallel = sweep::run(jobs, 4);
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_FALSE(serial[i].statsJson.empty()) << "job " << i;
+        EXPECT_EQ(serial[i].statsJson, parallel[i].statsJson)
+            << "job " << i;
+    }
+}
+
+TEST(Sweep, InsertingAJobLeavesOtherRowsUnchanged)
+{
+    // Reseeding audit: generators draw only from their own seeded
+    // rng_, so adding a job to a sweep cannot perturb any other row.
+    const std::vector<sweep::Job> before = syntheticJobs();
+    const std::vector<sweep::Outcome> base = sweep::run(before, 2);
+
+    std::vector<sweep::Job> with_extra = syntheticJobs();
+    sweep::Job extra;
+    extra.config =
+        sim::SystemConfig::singleProgram(mee::Protocol::Leaf);
+    extra.processes = {sim::syntheticPreset("gups")};
+    extra.processes[0].footprintPages = 128;
+    extra.instructions = 9000;
+    with_extra.insert(with_extra.begin() + 2, std::move(extra));
+    const std::vector<sweep::Outcome> shifted =
+        sweep::run(with_extra, 2);
+
+    ASSERT_EQ(shifted.size(), base.size() + 1);
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        const std::size_t j = i < 2 ? i : i + 1;
+        EXPECT_EQ(base[i].statsJson, shifted[j].statsJson)
+            << "job " << i;
+    }
+}
+
 TEST(Sweep, RecordsHistogramWhenRequested)
 {
     std::vector<sweep::Job> jobs = matrixJobs();

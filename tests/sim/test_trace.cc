@@ -5,12 +5,18 @@
 #include <vector>
 
 #include "sim/system.hh"
-#include "sim/trace.hh"
+#include "sim/traceio/reader.hh"
+#include "sim/traceio/writer.hh"
 
 namespace amnt::sim
 {
 namespace
 {
+
+using traceio::TraceReader;
+using traceio::TraceRecord;
+using traceio::TraceWriter;
+using traceio::recordTrace;
 
 std::string
 tempTracePath(const char *tag)
@@ -46,14 +52,19 @@ TEST(Trace, RecordReplayRoundTrip)
         EXPECT_EQ(writer.count(), 500ull);
     }
     TraceReader reader(path);
-    MemRef got;
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_TRUE(reader.timed());
+    TraceRecord got;
     for (const MemRef &want : expected) {
         ASSERT_TRUE(reader.next(got));
-        EXPECT_EQ(got.vaddr, want.vaddr);
-        EXPECT_EQ(got.type, want.type);
-        EXPECT_EQ(got.flush, want.flush);
+        EXPECT_EQ(got.ref.vaddr, want.vaddr);
+        EXPECT_EQ(got.ref.type, want.type);
+        EXPECT_EQ(got.ref.flush, want.flush);
+        EXPECT_EQ(got.gap, 1ull);
     }
     EXPECT_FALSE(reader.next(got));
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.recordsRead(), 500ull);
     std::remove(path.c_str());
 }
 
@@ -64,14 +75,16 @@ TEST(Trace, RewindRestartsStream)
     recordTrace(source, 10, path);
 
     TraceReader reader(path);
-    MemRef first;
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    TraceRecord first;
     ASSERT_TRUE(reader.next(first));
-    MemRef r;
+    TraceRecord r;
     while (reader.next(r))
         ;
+    ASSERT_TRUE(reader.ok()) << reader.error();
     reader.rewind();
     ASSERT_TRUE(reader.next(r));
-    EXPECT_EQ(r.vaddr, first.vaddr);
+    EXPECT_EQ(r.ref.vaddr, first.ref.vaddr);
     std::remove(path.c_str());
 }
 
@@ -109,7 +122,42 @@ TEST(Trace, WorkloadReplayWrapsAround)
     for (int i = 0; i < 10; ++i)
         first_pass.push_back(replay.next().vaddr);
     for (int i = 0; i < 10; ++i)
-        EXPECT_EQ(replay.next().vaddr, first_pass[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(replay.next().vaddr,
+                  first_pass[static_cast<std::size_t>(i)]);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, DeltaEncodingHandlesChurnAndGaps)
+{
+    const std::string path = tempTracePath("churn");
+    {
+        TraceWriter writer(path);
+        MemRef a;
+        a.vaddr = 0x1000;
+        writer.append(a, 7);
+        MemRef b;
+        b.vaddr = 0x40; // negative delta
+        b.type = AccessType::Write;
+        b.flush = true;
+        b.churnPage = true;
+        b.churnVictim = 4242;
+        writer.append(b, 123456789ull);
+    }
+    TraceReader reader(path);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    TraceRecord r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.ref.vaddr, 0x1000ull);
+    EXPECT_EQ(r.gap, 7ull);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.ref.vaddr, 0x40ull);
+    EXPECT_EQ(r.gap, 123456789ull);
+    EXPECT_EQ(r.ref.type, AccessType::Write);
+    EXPECT_TRUE(r.ref.flush);
+    EXPECT_TRUE(r.ref.churnPage);
+    EXPECT_EQ(r.ref.churnVictim, 4242ull);
+    EXPECT_FALSE(reader.next(r));
+    EXPECT_TRUE(reader.ok()) << reader.error();
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,287 @@
+/**
+ * Round-trip determinism: recording a live run and replaying the
+ * capture through a fresh system must reproduce a bit-identical
+ * StatRegistry dump, for every protocol preset. Plus unit coverage
+ * of the varint/zigzag encoding edges the format rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "sim/traceio/format.hh"
+#include "sim/traceio/reader.hh"
+#include "sim/traceio/writer.hh"
+
+namespace amnt::sim
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &tag)
+{
+    return std::string(::testing::TempDir()) + "/amnt_rt_" + tag +
+           ".trc";
+}
+
+// ------------------------------------------------------- varint edges
+
+TEST(TraceVarint, EncodesEdgeValuesCanonically)
+{
+    const std::uint64_t values[] = {
+        0,
+        1,
+        127,
+        128,
+        129,
+        16383,
+        16384,
+        (1ull << 32) - 1,
+        1ull << 32,
+        (1ull << 56) - 1,
+        1ull << 63,
+        ~0ull, // 2^64 - 1
+    };
+    for (std::uint64_t v : values) {
+        std::uint8_t buf[traceio::kMaxVarintBytes];
+        const std::size_t n = traceio::putVarint(buf, v);
+        ASSERT_GE(n, 1u);
+        ASSERT_LE(n, traceio::kMaxVarintBytes);
+        std::uint64_t back = 0;
+        EXPECT_EQ(traceio::getVarint(buf, n, back), n) << v;
+        EXPECT_EQ(back, v);
+        // Truncated buffers must be rejected, not misread.
+        if (n > 1) {
+            std::uint64_t dummy;
+            EXPECT_EQ(traceio::getVarint(buf, n - 1, dummy), 0u)
+                << v;
+        }
+    }
+}
+
+TEST(TraceVarint, RejectsNonCanonicalEncodings)
+{
+    std::uint64_t out;
+    // 0 encoded in two bytes (0x80 0x00): overlong.
+    const std::uint8_t overlong0[] = {0x80, 0x00};
+    EXPECT_EQ(traceio::getVarint(overlong0, 2, out), 0u);
+    // 1 encoded in three bytes.
+    const std::uint8_t overlong1[] = {0x81, 0x80, 0x00};
+    EXPECT_EQ(traceio::getVarint(overlong1, 3, out), 0u);
+    // 10th byte above 1 overflows 64 bits.
+    const std::uint8_t overflow[] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                     0xff, 0xff, 0xff, 0xff, 0x02};
+    EXPECT_EQ(traceio::getVarint(overflow, 10, out), 0u);
+    // 2^64-1 itself is fine (10th byte == 1).
+    const std::uint8_t max[] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                0xff, 0xff, 0xff, 0xff, 0x01};
+    EXPECT_EQ(traceio::getVarint(max, 10, out), 10u);
+    EXPECT_EQ(out, ~0ull);
+    // Eleven continuation bytes: longer than any u64.
+    const std::uint8_t toolong[] = {0x80, 0x80, 0x80, 0x80, 0x80,
+                                    0x80, 0x80, 0x80, 0x80, 0x80,
+                                    0x00};
+    EXPECT_EQ(traceio::getVarint(toolong, 11, out), 0u);
+}
+
+TEST(TraceVarint, ZigzagRoundTripsExtremes)
+{
+    const std::int64_t values[] = {
+        0,  1,  -1, 2,  -2, 63, -64, 64,
+        std::int64_t{1} << 40,
+        -(std::int64_t{1} << 40),
+        INT64_MAX,
+        INT64_MIN,
+    };
+    for (std::int64_t v : values)
+        EXPECT_EQ(traceio::zigzagDecode(traceio::zigzagEncode(v)), v);
+    // Small magnitudes encode small.
+    EXPECT_EQ(traceio::zigzagEncode(0), 0ull);
+    EXPECT_EQ(traceio::zigzagEncode(-1), 1ull);
+    EXPECT_EQ(traceio::zigzagEncode(1), 2ull);
+}
+
+TEST(TraceVarint, NonMonotonicAddressDeltasRoundTrip)
+{
+    // A worst-case address walk: full-range jumps both directions.
+    const std::string path = tempPath("nonmono");
+    const Addr walk[] = {0,        ~0ull,       1,    ~0ull - 1,
+                         1ull << 63, 0x40,      ~0ull, 0};
+    {
+        traceio::TraceWriter writer(path);
+        for (Addr a : walk) {
+            MemRef r;
+            r.vaddr = a;
+            writer.append(r, ~0ull); // max gap too
+        }
+    }
+    traceio::TraceReader reader(path);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    traceio::TraceRecord rec;
+    for (Addr a : walk) {
+        ASSERT_TRUE(reader.next(rec)) << reader.error();
+        EXPECT_EQ(rec.ref.vaddr, a);
+        EXPECT_EQ(rec.gap, ~0ull);
+    }
+    EXPECT_FALSE(reader.next(rec));
+    EXPECT_TRUE(reader.ok()) << reader.error();
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------- record/replay invariant
+
+const mee::Protocol kAllProtocols[] = {
+    mee::Protocol::Volatile, mee::Protocol::Strict,
+    mee::Protocol::Leaf,     mee::Protocol::Osiris,
+    mee::Protocol::Anubis,   mee::Protocol::Bmf,
+    mee::Protocol::Amnt,
+};
+
+WorkloadConfig
+busyWorkload()
+{
+    WorkloadConfig w;
+    w.name = "rt";
+    w.footprintPages = 768;
+    w.memIntensity = 0.4;
+    w.writeFraction = 0.35;
+    w.flushWriteFraction = 0.1;
+    w.churnEvery = 257; // exercise unmap/refault through the trace
+    w.seed = 1234;
+    return w;
+}
+
+/** Live run with recording on; returns the registry dump. */
+std::string
+liveDump(mee::Protocol p, const std::string &trace_path,
+         std::uint64_t instr, std::uint64_t warmup)
+{
+    SystemConfig cfg = SystemConfig::singleProgram(p);
+    cfg.mee.dataBytes = 64ull << 20;
+    cfg.traceRecordPath = trace_path;
+    System sys(cfg);
+    sys.addProcess(busyWorkload());
+    sys.run(instr, warmup);
+    return sys.statsJson();
+}
+
+/** Replay of the capture through a fresh system; registry dump. */
+std::string
+replayDump(mee::Protocol p, const std::string &trace_path,
+           std::uint64_t instr, std::uint64_t warmup)
+{
+    SystemConfig cfg = SystemConfig::singleProgram(p);
+    cfg.mee.dataBytes = 64ull << 20;
+    System sys(cfg);
+    WorkloadConfig w = busyWorkload();
+    w.traceFile = trace_path;
+    sys.addProcess(w);
+    sys.run(instr, warmup);
+    return sys.statsJson();
+}
+
+TEST(TraceRoundTrip, ReplayReproducesRegistryDumpForEveryProtocol)
+{
+    constexpr std::uint64_t kInstr = 6000;
+    constexpr std::uint64_t kWarmup = 1500;
+    for (mee::Protocol p : kAllProtocols) {
+        const std::string path = tempPath(
+            std::string("proto_") + mee::protocolName(p));
+        const std::string live =
+            liveDump(p, path, kInstr, kWarmup);
+        const std::string replay =
+            replayDump(p, path, kInstr, kWarmup);
+        EXPECT_EQ(live, replay)
+            << "protocol " << mee::protocolName(p);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(TraceRoundTrip, RecordingIsObservationOnly)
+{
+    // A run with the recorder on must be bit-identical to one with
+    // it off — recording never perturbs the simulation.
+    SystemConfig cfg =
+        SystemConfig::singleProgram(mee::Protocol::Amnt);
+    cfg.mee.dataBytes = 64ull << 20;
+    System plain(cfg);
+    plain.addProcess(busyWorkload());
+    plain.run(4000, 1000);
+
+    const std::string path = tempPath("observe");
+    SystemConfig rec_cfg = cfg;
+    rec_cfg.traceRecordPath = path;
+    System recorded(rec_cfg);
+    recorded.addProcess(busyWorkload());
+    recorded.run(4000, 1000);
+
+    EXPECT_EQ(plain.statsJson(), recorded.statsJson());
+    std::remove(path.c_str());
+}
+
+TEST(TraceRoundTrip, MultiCoreRecordReplayRoundTrips)
+{
+    constexpr std::uint64_t kInstr = 4000;
+    constexpr std::uint64_t kWarmup = 1000;
+    const std::string prefix = tempPath("mp");
+
+    SystemConfig cfg =
+        SystemConfig::multiProgram(mee::Protocol::Amnt);
+    cfg.mee.dataBytes = 64ull << 20;
+
+    WorkloadConfig w0 = busyWorkload();
+    WorkloadConfig w1 = busyWorkload();
+    w1.seed = 999;
+    w1.writeFraction = 0.2;
+
+    std::string live;
+    {
+        SystemConfig rec_cfg = cfg;
+        rec_cfg.traceRecordPath = prefix;
+        System sys(rec_cfg);
+        sys.addProcess(w0);
+        sys.addProcess(w1);
+        sys.run(kInstr, kWarmup);
+        live = sys.statsJson();
+    }
+    {
+        System sys(cfg);
+        WorkloadConfig r0 = w0;
+        r0.traceFile = prefix + ".core0";
+        WorkloadConfig r1 = w1;
+        r1.traceFile = prefix + ".core1";
+        sys.addProcess(r0);
+        sys.addProcess(r1);
+        sys.run(kInstr, kWarmup);
+        EXPECT_EQ(live, sys.statsJson());
+    }
+    std::remove((prefix + ".core0").c_str());
+    std::remove((prefix + ".core1").c_str());
+}
+
+TEST(TraceRoundTrip, ReplayOutlastingTraceWrapsAround)
+{
+    // Replaying longer than the recording wraps to the start instead
+    // of starving the core.
+    const std::string path = tempPath("wraplong");
+    liveDump(mee::Protocol::Leaf, path, 2000, 0);
+    SystemConfig cfg =
+        SystemConfig::singleProgram(mee::Protocol::Leaf);
+    cfg.mee.dataBytes = 64ull << 20;
+    System sys(cfg);
+    WorkloadConfig w = busyWorkload();
+    w.traceFile = path;
+    sys.addProcess(w);
+    const RunResult r = sys.run(10000, 0);
+    EXPECT_GT(r.dataAccesses, 0ull);
+    EXPECT_EQ(sys.engine().violations(), 0ull);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace amnt::sim

@@ -1,0 +1,299 @@
+/**
+ * Statistical conformance of the five microbenchmark generators
+ * (WorkloadKind): each produces the distribution its knobs promise —
+ * Zipf exponent, write fraction, working-set footprint, and
+ * reuse/locality structure — and every draw is deterministic in
+ * WorkloadConfig::seed. All tests are seeded and exact-repeatable;
+ * tolerances cover only finite-sample noise at the fixed seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/workload.hh"
+
+namespace amnt::sim
+{
+namespace
+{
+
+WorkloadConfig
+base(WorkloadKind kind, std::uint64_t pages)
+{
+    WorkloadConfig w;
+    w.name = "stats";
+    w.kind = kind;
+    w.footprintPages = pages;
+    w.writeFraction = 0.3;
+    w.seed = 7;
+    return w;
+}
+
+std::vector<MemRef>
+draw(const WorkloadConfig &cfg, std::size_t n)
+{
+    Workload w(cfg);
+    std::vector<MemRef> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(w.next());
+    return out;
+}
+
+double
+writeShare(const std::vector<MemRef> &refs)
+{
+    std::size_t writes = 0;
+    for (const MemRef &r : refs)
+        writes += r.type == AccessType::Write;
+    return static_cast<double>(writes) /
+           static_cast<double>(refs.size());
+}
+
+// ------------------------------------------------------ Zipf exponent
+
+TEST(WorkloadStats, ZipfianFrequenciesFollowTheConfiguredExponent)
+{
+    WorkloadConfig cfg = base(WorkloadKind::Zipfian, 4096);
+    cfg.zipfAlpha = 0.99;
+    const auto refs = draw(cfg, 300'000);
+
+    std::map<PageId, std::uint64_t> freq;
+    for (const MemRef &r : refs)
+        ++freq[pageOf(r.vaddr)];
+    std::vector<std::uint64_t> counts;
+    counts.reserve(freq.size());
+    for (const auto &[page, n] : freq)
+        counts.push_back(n);
+    std::sort(counts.rbegin(), counts.rend());
+    ASSERT_GE(counts.size(), 50u);
+
+    // Least-squares slope of log(count) on log(rank+1) over the top
+    // 50 ranks estimates -alpha.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    constexpr int kRanks = 50;
+    for (int i = 0; i < kRanks; ++i) {
+        const double x = std::log(static_cast<double>(i + 1));
+        const double y = std::log(static_cast<double>(counts[i]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    const double slope = (kRanks * sxy - sx * sy) /
+                         (kRanks * sxx - sx * sx);
+    EXPECT_NEAR(slope, -cfg.zipfAlpha, 0.15);
+
+    // Skew sanity: at alpha ~1, the most popular 10% of pages absorb
+    // the majority of accesses.
+    std::uint64_t top = 0;
+    for (std::size_t i = 0; i < counts.size() / 10; ++i)
+        top += counts[i];
+    EXPECT_GT(static_cast<double>(top) /
+                  static_cast<double>(refs.size()),
+              0.5);
+}
+
+TEST(WorkloadStats, ZipfianAlphaZeroIsUniform)
+{
+    WorkloadConfig cfg = base(WorkloadKind::Zipfian, 512);
+    cfg.zipfAlpha = 0.0;
+    const auto refs = draw(cfg, 200'000);
+    std::map<PageId, std::uint64_t> freq;
+    for (const MemRef &r : refs)
+        ++freq[pageOf(r.vaddr)];
+    // Every page is hit, and no page is grossly over-represented.
+    EXPECT_EQ(freq.size(), cfg.footprintPages);
+    const double mean = static_cast<double>(refs.size()) /
+                        static_cast<double>(cfg.footprintPages);
+    for (const auto &[page, n] : freq)
+        EXPECT_NEAR(static_cast<double>(n), mean, mean * 0.5);
+}
+
+// ----------------------------------------------------- write fraction
+
+TEST(WorkloadStats, WriteFractionsMatchConfiguration)
+{
+    // GUPS is exact read-modify-write pairs: precisely half writes
+    // over any even draw count, regardless of writeFraction.
+    EXPECT_DOUBLE_EQ(
+        writeShare(draw(base(WorkloadKind::Gups, 1024), 100'000)),
+        0.5);
+
+    for (WorkloadKind kind :
+         {WorkloadKind::Zipfian, WorkloadKind::Stream,
+          WorkloadKind::KeyValue, WorkloadKind::PointerChase}) {
+        WorkloadConfig cfg = base(kind, 1024);
+        const auto refs = draw(cfg, 100'000);
+        EXPECT_NEAR(writeShare(refs), cfg.writeFraction, 0.02)
+            << "kind " << static_cast<int>(kind);
+    }
+}
+
+TEST(WorkloadStats, GupsPairsWriteBackTheBlockJustRead)
+{
+    const auto refs = draw(base(WorkloadKind::Gups, 2048), 50'000);
+    for (std::size_t i = 0; i + 1 < refs.size(); i += 2) {
+        ASSERT_EQ(refs[i].type, AccessType::Read);
+        ASSERT_EQ(refs[i + 1].type, AccessType::Write);
+        ASSERT_EQ(refs[i].vaddr, refs[i + 1].vaddr);
+    }
+}
+
+// ------------------------------------------------- working-set extent
+
+TEST(WorkloadStats, StreamSweepsTouchTheWholeFootprint)
+{
+    WorkloadConfig cfg = base(WorkloadKind::Stream, 64);
+    cfg.writeFraction = 0.25;
+    // 64 pages = 4096 blocks; 60k refs sweep both halves repeatedly.
+    const auto refs = draw(cfg, 60'000);
+    std::set<PageId> pages;
+    const PageId half = cfg.footprintPages / 2;
+    for (const MemRef &r : refs) {
+        pages.insert(pageOf(r.vaddr));
+        // Reads stay in the lower half, writes in the upper half.
+        if (r.type == AccessType::Read)
+            EXPECT_LT(pageOf(r.vaddr), half);
+        else
+            EXPECT_GE(pageOf(r.vaddr), half);
+    }
+    EXPECT_EQ(pages.size(), cfg.footprintPages);
+}
+
+TEST(WorkloadStats, GupsSpreadsUniformlyOverTheFootprint)
+{
+    WorkloadConfig cfg = base(WorkloadKind::Gups, 512);
+    const auto refs = draw(cfg, 200'000);
+    std::map<PageId, std::uint64_t> freq;
+    for (const MemRef &r : refs)
+        ++freq[pageOf(r.vaddr)];
+    EXPECT_EQ(freq.size(), cfg.footprintPages);
+    const double mean = static_cast<double>(refs.size()) /
+                        static_cast<double>(cfg.footprintPages);
+    for (const auto &[page, n] : freq)
+        EXPECT_NEAR(static_cast<double>(n), mean, mean * 0.5);
+}
+
+TEST(WorkloadStats, PointerChaseVisitsTheFullPermutation)
+{
+    // 8 pages = 512 blocks, a power of two: the walk is a full-period
+    // permutation, so one lap visits every block exactly once.
+    WorkloadConfig cfg = base(WorkloadKind::PointerChase, 8);
+    cfg.writeFraction = 0.0; // pure chase: every ref advances
+    const std::uint64_t blocks =
+        cfg.footprintPages * kBlocksPerPage;
+    const auto refs = draw(cfg, blocks);
+    std::set<Addr> seen;
+    for (const MemRef &r : refs)
+        seen.insert(r.vaddr);
+    EXPECT_EQ(seen.size(), blocks);
+}
+
+// --------------------------------------------------- reuse / locality
+
+TEST(WorkloadStats, StreamHasNoBlockReuseWithinOneSweep)
+{
+    WorkloadConfig cfg = base(WorkloadKind::Stream, 64);
+    cfg.writeFraction = 0.0; // isolate the read sweep
+    const std::uint64_t half_blocks =
+        (cfg.footprintPages / 2) * kBlocksPerPage;
+    const auto refs = draw(cfg, half_blocks);
+    std::set<Addr> seen;
+    for (const MemRef &r : refs)
+        EXPECT_TRUE(seen.insert(r.vaddr).second)
+            << "block revisited before the sweep wrapped";
+}
+
+TEST(WorkloadStats, KeyValueOpsAreSequentialBlockBursts)
+{
+    WorkloadConfig cfg = base(WorkloadKind::KeyValue, 1024);
+    cfg.kvValueBlocks = 4;
+    const auto refs = draw(cfg, 40'000);
+    std::size_t sequential = 0;
+    for (std::size_t i = 1; i < refs.size(); ++i)
+        sequential += refs[i].vaddr == refs[i - 1].vaddr + kBlockSize;
+    // 3 of every 4 transitions continue a value; op boundaries jump.
+    EXPECT_NEAR(static_cast<double>(sequential) /
+                    static_cast<double>(refs.size() - 1),
+                0.75, 0.03);
+}
+
+TEST(WorkloadStats, PointerChaseHasNoSpatialStructure)
+{
+    WorkloadConfig cfg = base(WorkloadKind::PointerChase, 256);
+    cfg.writeFraction = 0.0;
+    const auto refs = draw(cfg, 50'000);
+    std::size_t sequential = 0;
+    for (std::size_t i = 1; i < refs.size(); ++i)
+        sequential += refs[i].vaddr == refs[i - 1].vaddr + kBlockSize;
+    // A scrambled walk has (almost) no next-block successors.
+    EXPECT_LT(static_cast<double>(sequential) /
+                  static_cast<double>(refs.size() - 1),
+              0.05);
+}
+
+TEST(WorkloadStats, KeyValueFlushedPutsHonourTheFlushFraction)
+{
+    WorkloadConfig cfg = base(WorkloadKind::KeyValue, 1024);
+    cfg.writeFraction = 0.4;
+    cfg.flushWriteFraction = 1.0;
+    const auto refs = draw(cfg, 40'000);
+    for (const MemRef &r : refs) {
+        if (r.type == AccessType::Write)
+            EXPECT_TRUE(r.flush);
+        else
+            EXPECT_FALSE(r.flush);
+    }
+}
+
+// -------------------------------------------------------- determinism
+
+TEST(WorkloadStats, SameSeedSameStreamAcrossAllKinds)
+{
+    for (WorkloadKind kind :
+         {WorkloadKind::Synthetic, WorkloadKind::Zipfian,
+          WorkloadKind::Gups, WorkloadKind::Stream,
+          WorkloadKind::KeyValue, WorkloadKind::PointerChase}) {
+        WorkloadConfig cfg = base(kind, 256);
+        cfg.churnEvery = 101;
+        const auto a = draw(cfg, 5'000);
+        const auto b = draw(cfg, 5'000);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a[i].vaddr, b[i].vaddr)
+                << "kind " << static_cast<int>(kind) << " ref " << i;
+            ASSERT_EQ(a[i].type, b[i].type);
+            ASSERT_EQ(a[i].flush, b[i].flush);
+            ASSERT_EQ(a[i].churnPage, b[i].churnPage);
+            ASSERT_EQ(a[i].churnVictim, b[i].churnVictim);
+        }
+    }
+}
+
+TEST(WorkloadStats, SeedChangesTheStream)
+{
+    for (WorkloadKind kind :
+         {WorkloadKind::Zipfian, WorkloadKind::Gups,
+          WorkloadKind::KeyValue, WorkloadKind::PointerChase}) {
+        WorkloadConfig cfg = base(kind, 256);
+        const auto a = draw(cfg, 2'000);
+        cfg.seed = 8888;
+        const auto b = draw(cfg, 2'000);
+        std::size_t same = 0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            same += a[i].vaddr == b[i].vaddr;
+        EXPECT_LT(same, a.size() / 2)
+            << "kind " << static_cast<int>(kind);
+    }
+}
+
+} // namespace
+} // namespace amnt::sim
