@@ -45,6 +45,7 @@ main(int argc, char **argv)
         jobs.push_back(makeJob(cfg, procs, instr, warmup));
     }
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
     const double base_cycles =
         static_cast<double>(outcomes[0].result.cycles);

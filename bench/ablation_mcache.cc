@@ -38,6 +38,7 @@ main(int argc, char **argv)
             makeJob(mk(mee::Protocol::Amnt), {w}, instr, warmup));
     }
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
 
     TextTable table;

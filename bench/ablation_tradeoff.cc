@@ -42,6 +42,7 @@ main(int argc, char **argv)
     jobs.push_back(makeJob(paperSystem(mee::Protocol::Strict, 2),
                            procs, instr, warmup));
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
 
     const double base_cycles =

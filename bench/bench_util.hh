@@ -37,9 +37,12 @@
  *                    recording workload's pre-ROI hot-page
  *                    initialization (required for bit-identical
  *                    record/replay stats)
- * The override substitutes every process of every job, so row labels
- * keep the harness's own naming while all rows measure the chosen
- * workload. Recording is orthogonal: AMNT_TRACE_RECORD=<path>
+ *   --protocol=NAME  run every job of the matrix under this protocol
+ *                    (any name registered in core/protocol_registry;
+ *                    an unknown name dies listing them all)
+ * The overrides substitute every process/job of the matrix, so row
+ * labels keep the harness's own naming while all rows measure the
+ * chosen workload or protocol. Recording is orthogonal: AMNT_TRACE_RECORD=<path>
  * captures every simulated run (see sim/system.hh).
  */
 
@@ -55,6 +58,7 @@
 #include "common/env.hh"
 #include "common/log.hh"
 #include "common/table.hh"
+#include "core/protocol_registry.hh"
 #include "sim/presets.hh"
 #include "sim/sweep.hh"
 #include "sim/system.hh"
@@ -102,16 +106,57 @@ scaledMp(sim::WorkloadConfig w)
     return w;
 }
 
-/** The protocol columns of Figures 4/5 (amnt++ handled separately). */
+/**
+ * The protocol columns of Figures 4/5 (amnt++ handled separately),
+ * derived from ProtocolInfo::figureOrder in the registry so the
+ * harness columns and the golden pins can never drift apart.
+ */
 inline const std::vector<mee::Protocol> &
 figureProtocols()
 {
-    static const std::vector<mee::Protocol> p = {
-        mee::Protocol::Leaf, mee::Protocol::Strict,
-        mee::Protocol::Anubis, mee::Protocol::Bmf,
-        mee::Protocol::Amnt,
-    };
+    static const std::vector<mee::Protocol> p =
+        core::figureProtocols();
     return p;
+}
+
+/**
+ * Parse a `--protocol=NAME` / `--protocol NAME` override against the
+ * registry. Returns nullopt when the flag is absent; fatal (listing
+ * every registered name) on an unknown protocol.
+ */
+inline std::optional<mee::Protocol>
+protocolOverride(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::string eq = "--protocol=";
+        if (arg.rfind(eq, 0) == 0)
+            return core::protocolByName(arg.substr(eq.size()));
+        if (arg == "--protocol") {
+            if (i + 1 >= argc)
+                fatal("--protocol needs a value (one of: %s)",
+                      core::protocolNameList().c_str());
+            return core::protocolByName(argv[i + 1]);
+        }
+    }
+    return std::nullopt;
+}
+
+/**
+ * Apply a `--protocol=` override to a built job matrix: every job
+ * simulates the chosen protocol while keeping its label, workload,
+ * and core count. No-op without the flag.
+ */
+inline void
+applyProtocolOverride(std::vector<sweep::Job> &jobs, int argc,
+                      char **argv)
+{
+    const std::optional<mee::Protocol> over =
+        protocolOverride(argc, argv);
+    if (!over)
+        return;
+    for (sweep::Job &job : jobs)
+        job.config.protocol = *over;
 }
 
 /**

@@ -89,6 +89,7 @@ main(int argc, char **argv)
                                instr, warmup));
     }
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
 
     // Both jobs share the 8 GB map, so the level-3 region width is a

@@ -37,6 +37,7 @@ main(int argc, char **argv)
         jobs.push_back(makeJob(pp, procs, instr, warmup));
     }
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
     const std::size_t stride = 2 + figureProtocols().size();
 

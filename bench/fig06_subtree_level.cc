@@ -38,6 +38,7 @@ main(int argc, char **argv)
         }
     }
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
     const std::size_t stride = 1 + 2 * (kHiLevel - kLoLevel + 1);
 

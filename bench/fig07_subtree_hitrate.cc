@@ -35,6 +35,7 @@ main(int argc, char **argv)
         }
     }
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
     const std::size_t stride = 2 * (kHiLevel - kLoLevel + 1);
 

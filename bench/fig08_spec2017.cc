@@ -42,6 +42,7 @@ main(int argc, char **argv)
                 makeJob(paperSystem(p, 4), procs, instr, warmup));
     }
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
     const std::size_t stride = 1 + figureProtocols().size();
 

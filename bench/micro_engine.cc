@@ -61,11 +61,7 @@ main(int argc, char **argv)
     table.header({"protocol", "write M/s", "read M/s", "write ns",
                   "read ns"});
 
-    for (mee::Protocol p :
-         {mee::Protocol::Volatile, mee::Protocol::Leaf,
-          mee::Protocol::Strict, mee::Protocol::Osiris,
-          mee::Protocol::Anubis, mee::Protocol::Bmf,
-          mee::Protocol::Amnt}) {
+    for (mee::Protocol p : core::allProtocols()) {
         mee::MeeConfig cfg;
         cfg.dataBytes = 64ull << 20;
         cfg.keySeed = 5;

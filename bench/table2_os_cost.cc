@@ -34,6 +34,7 @@ main(int argc, char **argv)
         jobs.push_back(makeJob(pp, procs, instr, warmup));
     }
     applyWorkloadOverride(jobs, argc, argv);
+    applyProtocolOverride(jobs, argc, argv);
     const std::vector<sweep::Outcome> outcomes = sweepConfigs(jobs);
 
     TextTable table;

@@ -65,6 +65,13 @@ main(int argc, char **argv)
             TextTable::pct(core::RecoveryModel::amntStaleFraction(level),
                            level >= 4 ? 2 : 2));
     }
+    row("Phoenix",
+        [&](std::uint64_t) {
+            return model.phoenixMs(mee::MeeConfig{}.phoenixEpoch);
+        },
+        "1 epoch");
+    row("STIT", [&](std::uint64_t s) { return model.stitMs(s); },
+        "100%");
 
     std::printf("Table 4: recovery times (ms) vs memory size "
                 "(analytic model, 12 GB/s read-bound)\n\n%s\n",
@@ -79,14 +86,12 @@ main(int argc, char **argv)
                 model.levelForBudget(2 * kTb, 13.0, 7));
 
     // Functional validation at 64 MB: crash + real recovery. Each
-    // protocol instance owns its engine and NVM, so the six recoveries
+    // protocol instance owns its engine and NVM, so the recoveries
     // run in parallel and report in protocol order.
     std::printf("functional validation (64 MB instance, real crash "
                 "+ recovery):\n");
-    const std::vector<mee::Protocol> protocols = {
-        mee::Protocol::Strict, mee::Protocol::Leaf,
-        mee::Protocol::Osiris, mee::Protocol::Anubis,
-        mee::Protocol::Bmf,    mee::Protocol::Amnt};
+    const std::vector<mee::Protocol> protocols =
+        core::persistentProtocols();
     std::vector<mee::RecoveryReport> reports(protocols.size());
     sweep::parallelFor(protocols.size(), [&](std::size_t i) {
         mee::MeeConfig cfg;

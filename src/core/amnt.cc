@@ -8,55 +8,56 @@
 namespace amnt::core
 {
 
-AmntEngine::AmntEngine(const mee::MeeConfig &config, mem::NvmDevice &nvm)
-    : mee::MemoryEngine(config, nvm),
-      history_(config.amntHistoryEntries, 0)
+void
+AmntStrategy::onAttach()
 {
-    if (config.amntSubtreeLevel < 2 ||
-        config.amntSubtreeLevel > map_.geometry().nodeLevels())
+    if (config().amntSubtreeLevel < 2 ||
+        config().amntSubtreeLevel > map().geometry().nodeLevels())
         fatal("AMNT subtree level %u outside [2, %u]",
-              config.amntSubtreeLevel, map_.geometry().nodeLevels());
-    if (config.amntInterval == 0)
+              config().amntSubtreeLevel,
+              map().geometry().nodeLevels());
+    if (config().amntInterval == 0)
         fatal("AMNT interval must be non-zero");
-    subtreeHits_ = &stats_.counter("subtree_hits");
-    subtreeMisses_ = &stats_.counter("subtree_misses");
+    subtreeHits_ = &stats().counter("subtree_hits");
+    subtreeMisses_ = &stats().counter("subtree_misses");
 }
 
 Cycle
-AmntEngine::persistInside(const WriteContext &ctx)
+AmntStrategy::persistInside(const mee::WriteContext &ctx)
 {
     // Leaf persistence: counter + HMAC persist with the data write in
     // one parallel burst; tree nodes stay dirty in the metadata
     // cache. The subtree-root register (on-chip, non-volatile) is
     // refreshed so recovery can re-anchor the recomputed subtree.
     ++*subtreeHits_;
-    const Addr wt[2] = {map_.counterBase() + ctx.counterIdx * kBlockSize,
-                        map_.hmacAddrOf(ctx.dataAddr)};
+    const Addr wt[2] = {map().counterBase() +
+                            ctx.counterIdx * kBlockSize,
+                        map().hmacAddrOf(ctx.dataAddr)};
     writeThroughMany(wt, 2);
     refreshSubtreeRegister();
     return persistCost(1);
 }
 
 Cycle
-AmntEngine::persistOutside(const WriteContext &ctx)
+AmntStrategy::persistOutside(const mee::WriteContext &ctx)
 {
     // Strict persistence: read-modify-write the ancestral path and
     // write everything through, ordered.
     ++*subtreeMisses_;
     unsigned misses = 0;
     Cycle hook = 0;
-    pathOf(ctx.counterIdx, pathScratch_);
-    const auto &path = pathScratch_;
+    pathOf(ctx.counterIdx, pathScratch());
+    const auto &path = pathScratch();
     for (const auto &ref : path)
-        hook += ensureResident(map_.nodeAddrOf(ref), misses);
-    Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
+        hook += ensureResident(map().nodeAddrOf(ref), misses);
+    Cycle lat = misses > 0 ? config().nvmReadCycles : 0;
 
     // Counter and HMAC persist atomically with the data write; the
     // ancestral path follows in postCommit (recomputable nodes, one
-    // crash point each — see StrictEngine).
-    const Addr wt[2] = {map_.counterBase() +
+    // crash point each — see StrictStrategy).
+    const Addr wt[2] = {map().counterBase() +
                             ctx.counterIdx * kBlockSize,
-                        map_.hmacAddrOf(ctx.dataAddr)};
+                        map().hmacAddrOf(ctx.dataAddr)};
     writeThroughMany(wt, 2);
 
     lat += persistCost(3 + static_cast<unsigned>(path.size()));
@@ -64,10 +65,10 @@ AmntEngine::persistOutside(const WriteContext &ctx)
 }
 
 Cycle
-AmntEngine::persistPolicy(const WriteContext &ctx)
+AmntStrategy::persist(const mee::WriteContext &ctx)
 {
-    const std::uint64_t region = map_.geometry().regionOf(
-        ctx.counterIdx, config_.amntSubtreeLevel);
+    const std::uint64_t region = map().geometry().regionOf(
+        ctx.counterIdx, config().amntSubtreeLevel);
 
     // The subtree register initializes on first use: before any
     // write exists there is nothing to flush, so the very first
@@ -87,23 +88,24 @@ AmntEngine::persistPolicy(const WriteContext &ctx)
 }
 
 Cycle
-AmntEngine::postCommit(const WriteContext &ctx)
+AmntStrategy::postCommit(const mee::WriteContext &ctx)
 {
     // Outside-subtree writes persist their ancestral path here, after
-    // the commit closed. region_ is still the value persistPolicy
+    // the commit closed. region_ is still the value persist()
     // dispatched on: movement only happens below, at the interval
     // boundary.
-    if (map_.geometry().regionOf(ctx.counterIdx,
-                                 config_.amntSubtreeLevel) != region_) {
-        pathOf(ctx.counterIdx, pathScratch_);
+    if (map().geometry().regionOf(ctx.counterIdx,
+                                  config().amntSubtreeLevel) !=
+        region_) {
+        pathOf(ctx.counterIdx, pathScratch());
         Addr wt[bmt::Geometry::kMaxPathNodes];
         std::size_t nwt = 0;
-        for (const auto &ref : pathScratch_)
-            wt[nwt++] = map_.nodeAddrOf(ref);
+        for (const auto &ref : pathScratch())
+            wt[nwt++] = map().nodeAddrOf(ref);
         writeThroughMany(wt, nwt);
     }
 
-    if (++writesThisInterval_ >= config_.amntInterval) {
+    if (++writesThisInterval_ >= config().amntInterval) {
         writesThisInterval_ = 0;
         considerMovement();
         history_.reset(region_);
@@ -112,10 +114,10 @@ AmntEngine::postCommit(const WriteContext &ctx)
 }
 
 void
-AmntEngine::propagateParent(Addr parent_addr)
+AmntStrategy::propagateParent(Addr parent_addr)
 {
-    const bmt::NodeRef ref = map_.nodeOfAddr(parent_addr);
-    if (ref.level >= config_.amntSubtreeLevel &&
+    const bmt::NodeRef ref = map().nodeOfAddr(parent_addr);
+    if (ref.level >= config().amntSubtreeLevel &&
         bmt::Geometry::inSubtree(ref, subtreeRoot())) {
         markDirty(parent_addr);
     } else {
@@ -124,7 +126,7 @@ AmntEngine::propagateParent(Addr parent_addr)
 }
 
 void
-AmntEngine::considerMovement()
+AmntStrategy::considerMovement()
 {
     const std::uint64_t head = history_.head();
     if (head != region_)
@@ -132,10 +134,10 @@ AmntEngine::considerMovement()
 }
 
 void
-AmntEngine::moveSubtreeTo(std::uint64_t new_region)
+AmntStrategy::moveSubtreeTo(std::uint64_t new_region)
 {
-    stats_.inc("subtree_movements");
-    trace_.begin(obs::EventClass::SubtreeMove, new_region);
+    stats().inc("subtree_movements");
+    trace().begin(obs::EventClass::SubtreeMove, new_region);
 
     // All inner nodes of the outgoing subtree must persist before the
     // incoming one may run lazily. Only in-subtree nodes (and the
@@ -143,13 +145,13 @@ AmntEngine::moveSubtreeTo(std::uint64_t new_region)
     // else was written through. A dirty-bit scan of the metadata
     // cache finds them (the 128-bit dirty-path bitmap in hardware).
     std::vector<Addr> dirty_nodes;
-    mcache_.forEachLine([&](Addr addr, bool dirty) {
-        if (dirty && map_.classify(addr) == mem::Region::Tree)
+    mcache().forEachLine([&](Addr addr, bool dirty) {
+        if (dirty && map().classify(addr) == mem::Region::Tree)
             dirty_nodes.push_back(addr);
     });
     writeThroughMany(dirty_nodes.data(), dirty_nodes.size());
     for (std::size_t i = 0; i < dirty_nodes.size(); ++i)
-        stats_.inc("movement_flush_writes");
+        stats().inc("movement_flush_writes");
 
     // Persist the path from the outgoing subtree root to the global
     // root so the strict region is anchored again.
@@ -157,8 +159,8 @@ AmntEngine::moveSubtreeTo(std::uint64_t new_region)
     std::size_t n_anchor = 0;
     bmt::NodeRef ref = subtreeRoot();
     while (true) {
-        anchor[n_anchor++] = map_.nodeAddrOf(ref);
-        stats_.inc("movement_flush_writes");
+        anchor[n_anchor++] = map().nodeAddrOf(ref);
+        stats().inc("movement_flush_writes");
         if (ref.level == 1)
             break;
         ref = bmt::Geometry::parentOf(ref);
@@ -169,16 +171,15 @@ AmntEngine::moveSubtreeTo(std::uint64_t new_region)
     // selector and the subtree-root register value switch together (a
     // crash between them would anchor the new region with the old
     // region's root hash and falsely fail recovery).
-    fault::CommitScope retarget(nvm_->faultDomain());
+    fault::CommitScope retarget(nvm().faultDomain());
     region_ = new_region;
     refreshSubtreeRegister();
-    trace_.end(obs::EventClass::SubtreeMove);
+    trace().end(obs::EventClass::SubtreeMove);
 }
 
 void
-AmntEngine::crash()
+AmntStrategy::onCrash()
 {
-    mee::MemoryEngine::crash();
     // The history buffer is volatile; the subtree-root register and
     // the global root register are non-volatile and survive.
     history_.reset(region_);
@@ -186,7 +187,7 @@ AmntEngine::crash()
 }
 
 mee::RecoveryReport
-AmntEngine::recover()
+AmntStrategy::recover()
 {
     mee::RecoveryReport report;
 
@@ -196,7 +197,7 @@ AmntEngine::recover()
     // subtree register.
     mee::RecoveryReport scratch;
     rebuildAndVerify(scratch);
-    const bool subtree_ok = tree_->node(subtreeRoot()) ==
+    const bool subtree_ok = tree().node(subtreeRoot()) ==
                             subtreeRegister_;
     report.success = scratch.success && subtree_ok;
 
@@ -204,15 +205,15 @@ AmntEngine::recover()
     // recovery reads the subtree's counters and recomputes/rewrites
     // only its interior nodes (everything outside was persisted
     // strictly). Count the touched blocks inside the current region.
-    const unsigned level = config_.amntSubtreeLevel;
+    const unsigned level = config().amntSubtreeLevel;
     std::uint64_t counters_in = 0;
-    tree_->forEachCounter(
+    tree().forEachCounter(
         [&](std::uint64_t idx, const bmt::CounterBlock &) {
-            if (map_.geometry().regionOf(idx, level) == region_)
+            if (map().geometry().regionOf(idx, level) == region_)
                 ++counters_in;
         });
     std::uint64_t nodes_in = 0;
-    tree_->forEachNode([&](bmt::NodeRef ref, const mem::Block &) {
+    tree().forEachNode([&](bmt::NodeRef ref, const mem::Block &) {
         if (ref.level >= level &&
             bmt::Geometry::inSubtree(ref, subtreeRoot()))
             ++nodes_in;
@@ -225,15 +226,6 @@ AmntEngine::recover()
         recoveryMs(report.blocksRead, report.blocksWritten);
     report.detail = "amnt: subtree-bounded recompute";
     return report;
-}
-
-std::unique_ptr<mee::MemoryEngine>
-makeEngine(mee::Protocol p, const mee::MeeConfig &config,
-           mem::NvmDevice &nvm)
-{
-    if (p == mee::Protocol::Amnt)
-        return std::make_unique<AmntEngine>(config, nvm);
-    return mee::MemoryEngine::makeBaseline(p, config, nvm);
 }
 
 } // namespace amnt::core

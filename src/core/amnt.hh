@@ -31,23 +31,30 @@
 #include <string>
 
 #include "core/history_buffer.hh"
-#include "mee/engine.hh"
+#include "mee/protocol.hh"
 
 namespace amnt::core
 {
 
-/** The AMNT secure-memory engine. */
-class AmntEngine : public mee::MemoryEngine
+/** The AMNT metadata-persistence protocol. */
+class AmntStrategy : public mee::ProtocolStrategy
 {
   public:
-    AmntEngine(const mee::MeeConfig &config, mem::NvmDevice &nvm);
-
-    mee::Protocol protocol() const override
+    explicit AmntStrategy(const mee::MeeConfig &config)
+        : history_(config.amntHistoryEntries, 0)
     {
-        return mee::Protocol::Amnt;
     }
 
-    void crash() override;
+    mee::Protocol id() const override { return mee::Protocol::Amnt; }
+
+    mee::CrashProfile
+    crashProfile() const override
+    {
+        return {true, true,
+                "in-subtree: counter+hmac commit-atomic, nodes lazy; "
+                "outside: strict write-through; movement retarget "
+                "NV-register atomic"};
+    }
 
     mee::RecoveryReport recover() override;
 
@@ -55,53 +62,17 @@ class AmntEngine : public mee::MemoryEngine
     std::string
     statPath() const override
     {
-        return "amnt.l" + std::to_string(config_.amntSubtreeLevel);
+        return "amnt.l" + std::to_string(config().amntSubtreeLevel);
     }
 
-    /** Region index currently protected by the fast subtree. */
-    std::uint64_t currentRegion() const { return region_; }
-
-    /** Subtree root node of the current region. */
-    bmt::NodeRef
-    subtreeRoot() const
-    {
-        return {config_.amntSubtreeLevel, region_};
-    }
-
-    /** Fraction of data writes that hit the fast subtree (Fig. 7). */
-    double
-    subtreeHitRate() const
-    {
-        return stats_.ratio("subtree_hits", "subtree_misses");
-    }
-
-    /** Subtree movements performed (paper: ~0.3% of accesses). */
-    std::uint64_t
-    movements() const
-    {
-        return stats_.get("subtree_movements");
-    }
-
-    /** True iff counter @p counter_idx lies in the fast subtree. */
-    bool
-    inFastSubtree(std::uint64_t counter_idx) const
-    {
-        return map_.geometry().regionOf(
-                   counter_idx, config_.amntSubtreeLevel) == region_;
-    }
-
-    /** History buffer (testing). */
-    const HistoryBuffer &history() const { return history_; }
-
-  protected:
-    Cycle persistPolicy(const WriteContext &ctx) override;
+    Cycle persist(const mee::WriteContext &ctx) override;
 
     /**
      * Outside-subtree ancestral-path persists (recomputable nodes)
      * and the interval's movement check; neither is atomic with the
      * data write's commit.
      */
-    Cycle postCommit(const WriteContext &ctx) override;
+    Cycle postCommit(const mee::WriteContext &ctx) override;
 
     /**
      * Freshness propagation from dirty evictions: parents inside the
@@ -111,12 +82,52 @@ class AmntEngine : public mee::MemoryEngine
      */
     void propagateParent(Addr parent_addr) override;
 
+    void onCrash() override;
+
+    /** Region index currently protected by the fast subtree. */
+    std::uint64_t currentRegion() const { return region_; }
+
+    /** Subtree root node of the current region. */
+    bmt::NodeRef
+    subtreeRoot() const
+    {
+        return {config().amntSubtreeLevel, region_};
+    }
+
+    /** Fraction of data writes that hit the fast subtree (Fig. 7). */
+    double
+    subtreeHitRate() const
+    {
+        return stats().ratio("subtree_hits", "subtree_misses");
+    }
+
+    /** Subtree movements performed (paper: ~0.3% of accesses). */
+    std::uint64_t
+    movements() const
+    {
+        return stats().get("subtree_movements");
+    }
+
+    /** True iff counter @p counter_idx lies in the fast subtree. */
+    bool
+    inFastSubtree(std::uint64_t counter_idx) const
+    {
+        return map().geometry().regionOf(
+                   counter_idx, config().amntSubtreeLevel) == region_;
+    }
+
+    /** History buffer (testing). */
+    const HistoryBuffer &history() const { return history_; }
+
+  protected:
+    void onAttach() override;
+
   private:
     /** Leaf-persistence fast path for in-subtree writes. */
-    Cycle persistInside(const WriteContext &ctx);
+    Cycle persistInside(const mee::WriteContext &ctx);
 
     /** Strict write-through path for out-of-subtree writes. */
-    Cycle persistOutside(const WriteContext &ctx);
+    Cycle persistOutside(const mee::WriteContext &ctx);
 
     /** Interval boundary: possibly move the subtree to the head. */
     void considerMovement();
@@ -128,14 +139,14 @@ class AmntEngine : public mee::MemoryEngine
     void
     refreshSubtreeRegister()
     {
-        subtreeRegister_ = tree_->node(subtreeRoot());
+        subtreeRegister_ = tree().node(subtreeRoot());
     }
 
     HistoryBuffer history_;
 
     /// Per-write statistics resolved once (see StatGroup::counter).
-    std::uint64_t *subtreeHits_;
-    std::uint64_t *subtreeMisses_;
+    std::uint64_t *subtreeHits_ = nullptr;
+    std::uint64_t *subtreeMisses_ = nullptr;
 
     std::uint64_t region_ = 0;
     std::uint64_t writesThisInterval_ = 0;
@@ -148,8 +159,9 @@ class AmntEngine : public mee::MemoryEngine
 };
 
 /**
- * Engine factory covering the baselines and AMNT; the single entry
- * point the simulator and benches use.
+ * Engine factory covering every registered protocol; the single entry
+ * point the simulator and benches use. Defined with the protocol
+ * registry (core/protocol_registry.cc).
  */
 std::unique_ptr<mee::MemoryEngine>
 makeEngine(mee::Protocol p, const mee::MeeConfig &config,

@@ -39,6 +39,20 @@ hwOverheadOf(mee::Protocol p, const mee::MeeConfig &config)
         hw.volatileOnChip = lines * 6 / 8;
         break;
 
+      case mee::Protocol::Phoenix:
+        // Leaf-style persistence plus an epoch write counter (8 B
+        // volatile); the NV root register is the shared baseline.
+        hw.volatileOnChip = 8;
+        break;
+
+      case mee::Protocol::Stit:
+        // The coalescing pending queue: one address tag per entry
+        // (8 B), all volatile — a crash loses only recomputable node
+        // updates.
+        hw.volatileOnChip =
+            std::uint64_t(config.stitQueueDepth) * 8;
+        break;
+
       case mee::Protocol::Amnt: {
           // One NV register for the subtree root; the history buffer
           // is n entries of 2*log2(n) bits (96 B at n = 64),

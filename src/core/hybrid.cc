@@ -1,7 +1,7 @@
 #include "core/hybrid.hh"
 
 #include "common/log.hh"
-#include "mee/baselines.hh"
+#include "core/protocol_registry.hh"
 
 namespace amnt::core
 {
@@ -15,7 +15,7 @@ HybridEngine::HybridEngine(const HybridConfig &config) : config_(config)
     scm_cfg.dataBytes = config.scmBytes;
     scmNvm_ = std::make_unique<mem::NvmDevice>(
         mem::MemoryMap(scm_cfg.dataBytes).deviceBytes());
-    scm_ = std::make_unique<AmntEngine>(scm_cfg, *scmNvm_);
+    scm_ = makeEngine(mee::Protocol::Amnt, scm_cfg, *scmNvm_);
 
     mee::MeeConfig dram_cfg = config.mee;
     dram_cfg.dataBytes = config.dramBytes;
@@ -27,7 +27,8 @@ HybridEngine::HybridEngine(const HybridConfig &config) : config_(config)
         mem::MemoryMap(dram_cfg.dataBytes).deviceBytes(),
         mem::NvmTiming{config.dramReadCycles, config.dramWriteCycles,
                        25.0, 25.0});
-    dram_ = std::make_unique<mee::VolatileEngine>(dram_cfg, *dramNvm_);
+    dram_ =
+        makeEngine(mee::Protocol::Volatile, dram_cfg, *dramNvm_);
 }
 
 Cycle
@@ -62,7 +63,8 @@ HybridEngine::crash()
         mem::MemoryMap(dram_cfg.dataBytes).deviceBytes(),
         mem::NvmTiming{config_.dramReadCycles,
                        config_.dramWriteCycles, 25.0, 25.0});
-    dram_ = std::make_unique<mee::VolatileEngine>(dram_cfg, *dramNvm_);
+    dram_ =
+        makeEngine(mee::Protocol::Volatile, dram_cfg, *dramNvm_);
 }
 
 mee::RecoveryReport

@@ -79,8 +79,15 @@ class HybridEngine
         return scm_->violations() + dram_->violations();
     }
 
-    /** The AMNT engine protecting SCM. */
-    AmntEngine &scm() { return *scm_; }
+    /** The AMNT-protocol engine protecting SCM. */
+    mee::MemoryEngine &scm() { return *scm_; }
+
+    /** The SCM engine's AMNT strategy (subtree state accessors). */
+    AmntStrategy &
+    amnt()
+    {
+        return static_cast<AmntStrategy &>(scm_->strategy());
+    }
 
     /** The volatile engine protecting DRAM. */
     mee::MemoryEngine &dram() { return *dram_; }
@@ -105,7 +112,7 @@ class HybridEngine
     HybridConfig config_;
     std::unique_ptr<mem::NvmDevice> scmNvm_;
     std::unique_ptr<mem::NvmDevice> dramNvm_;
-    std::unique_ptr<AmntEngine> scm_;
+    std::unique_ptr<mee::MemoryEngine> scm_;
     std::unique_ptr<mee::MemoryEngine> dram_;
 };
 

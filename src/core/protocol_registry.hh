@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The protocol registry: one table describing every metadata
+ * persistence protocol the simulator implements.
+ *
+ * Each entry carries the CLI name, a one-line summary, the MeeConfig
+ * knobs the protocol reads, its column position in the paper's
+ * figures, and a factory for the protocol's strategy object
+ * (mee/protocol.hh). Everything that enumerates protocols — the
+ * crash-matrix and tamper test suites, the differential harness, the
+ * trace round-trip suite, `--protocol=` parsing in the benches and
+ * tools/amnt_trace, and the figure/table golden pins — derives its
+ * list from this table, so registering a protocol here auto-enrolls
+ * it in the full verification matrix.
+ *
+ * The table is an explicit function-local static (not self-registration
+ * at static-init time): the simulator links as a static library, where
+ * unreferenced registration objects are legally dropped.
+ */
+
+#ifndef AMNT_CORE_PROTOCOL_REGISTRY_HH
+#define AMNT_CORE_PROTOCOL_REGISTRY_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mee/protocol.hh"
+
+namespace amnt::core
+{
+
+/** One registered protocol. */
+struct ProtocolInfo
+{
+    mee::Protocol id;
+
+    /** CLI token; always equals mee::protocolName(id). */
+    const char *name;
+
+    /** One-line description for --help and the README table. */
+    const char *summary;
+
+    /** MeeConfig knobs the protocol reads ("" when none). */
+    const char *knobs;
+
+    /**
+     * Column position in the paper's Figures 4/5 (-1: not a figure
+     * column). Golden rows are pinned in this order.
+     */
+    int figureOrder;
+
+    /**
+     * Appended to the Figure 4 golden after the paper's columns
+     * (added protocols extend the pin without perturbing it).
+     */
+    bool fig04Extra;
+
+    /** Strategy factory. */
+    std::unique_ptr<mee::ProtocolStrategy> (*make)(
+        const mee::MeeConfig &config);
+};
+
+/** The full table, ordered by mee::Protocol enumerator value. */
+const std::vector<ProtocolInfo> &protocolRegistry();
+
+/** Entry for @p p (fatal if unregistered). */
+const ProtocolInfo &protocolInfo(mee::Protocol p);
+
+/** Lookup by CLI name; nullopt when unknown. */
+std::optional<mee::Protocol> findProtocol(const std::string &name);
+
+/** Lookup by CLI name; fatal with the registered list on failure. */
+mee::Protocol protocolByName(const std::string &name);
+
+/** Comma-joined registered names, for --help text. */
+std::string protocolNameList();
+
+/** Every registered protocol, in registry order. */
+std::vector<mee::Protocol> allProtocols();
+
+/** Protocols whose CrashProfile declares them persistent: the crash
+ *  matrix, post-crash tamper sweep, and crash-survivor differential
+ *  enroll exactly this list. */
+std::vector<mee::Protocol> persistentProtocols();
+
+/** Protocols whose recovery detects at-rest counter tampering: the
+ *  TamperAtRest suite enrolls exactly this list. */
+std::vector<mee::Protocol> tamperAtRestProtocols();
+
+/** The paper's figure columns, ordered by ProtocolInfo::figureOrder. */
+std::vector<mee::Protocol> figureProtocols();
+
+/** Protocols appended to the Figure 4 golden after the paper's
+ *  columns (ProtocolInfo::fig04Extra), in registry order. */
+std::vector<mee::Protocol> fig04ExtraProtocols();
+
+/** Crash-boundary declaration of @p p (from a detached strategy). */
+mee::CrashProfile crashProfileOf(mee::Protocol p);
+
+/** Build the strategy object for @p p. */
+std::unique_ptr<mee::ProtocolStrategy>
+makeProtocol(mee::Protocol p, const mee::MeeConfig &config);
+
+} // namespace amnt::core
+
+#endif // AMNT_CORE_PROTOCOL_REGISTRY_HH

@@ -34,6 +34,24 @@ RecoveryModel::osirisMs(std::uint64_t mem_bytes) const
 }
 
 double
+RecoveryModel::phoenixMs(unsigned epoch_writes) const
+{
+    // At most one epoch of tree nodes is stale; each restored node
+    // costs a counter read + node rewrite dependent pair at NVM read
+    // latency, like the Anubis chain but epoch-bounded.
+    const double read_ns = 305.0;
+    return static_cast<double>(epoch_writes) * 2.0 * read_ns / 1e6;
+}
+
+double
+RecoveryModel::stitMs(std::uint64_t mem_bytes) const
+{
+    // The coalescing queue never defers a counter, so recovery is the
+    // leaf rebuild: stream counters in, recompute level by level.
+    return leafMs(mem_bytes);
+}
+
+double
 RecoveryModel::amntMs(std::uint64_t mem_bytes, unsigned level) const
 {
     return leafMs(mem_bytes) * amntStaleFraction(level);

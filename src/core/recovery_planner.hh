@@ -60,6 +60,20 @@ struct RecoveryModel
     /** BMF: full persistent-root coverage, nothing stale. */
     double bmfMs(std::uint64_t) const { return 0.0; }
 
+    /**
+     * Phoenix: only nodes dirtied since the last epoch flush are
+     * stale — a counter+node read per dirty line, latency-bound like
+     * Anubis but over at most one epoch of lines.
+     */
+    double phoenixMs(unsigned epoch_writes) const;
+
+    /**
+     * STIT: the pending queue is lost but counters are always
+     * current, so recovery recomputes the tree from leaves; same
+     * asymptotics as leaf persistence.
+     */
+    double stitMs(std::uint64_t mem_bytes) const;
+
     /** AMNT at subtree level L: leaf work / 8^(L-1). */
     double amntMs(std::uint64_t mem_bytes, unsigned level) const;
 

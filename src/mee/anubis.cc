@@ -4,7 +4,7 @@ namespace amnt::mee
 {
 
 RecoveryReport
-AnubisEngine::recover()
+AnubisStrategy::recover()
 {
     RecoveryReport report;
 
@@ -39,7 +39,7 @@ AnubisEngine::recover()
     report.blocksWritten = entries;
     const double read_ns = 305.0;
     const double dependent_fetches = 4.0;
-    const std::uint64_t table_lines = metaCache().lines();
+    const std::uint64_t table_lines = mcache().lines();
     report.estimatedMs = table_lines * dependent_fetches * read_ns / 1e6;
     report.detail = "anubis: shadow-table restore (cache-size bound)";
     return report;

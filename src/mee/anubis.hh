@@ -20,27 +20,28 @@
 
 #include <unordered_map>
 
-#include "mee/engine.hh"
+#include "mee/protocol.hh"
 
 namespace amnt::mee
 {
 
 /** Shadow-table metadata persistence. */
-class AnubisEngine : public MemoryEngine
+class AnubisStrategy : public ProtocolStrategy
 {
   public:
-    using MemoryEngine::MemoryEngine;
+    Protocol id() const override { return Protocol::Anubis; }
 
-    Protocol protocol() const override { return Protocol::Anubis; }
+    CrashProfile
+    crashProfile() const override
+    {
+        return {true, false,
+                "shadow-table entry commit-atomic per cache "
+                "insert/update; tree fully lazy (restored from "
+                "shadow)"};
+    }
 
-    RecoveryReport recover() override;
-
-    /** Shadow-table occupancy (bounded by metadata cache lines). */
-    std::size_t shadowEntries() const { return shadow_.size(); }
-
-  protected:
     Cycle
-    persistPolicy(const WriteContext &) override
+    persist(const WriteContext &) override
     {
         // Tree updates are lazy (write-back); crash consistency comes
         // from the shadow table maintained by the hooks below.
@@ -57,10 +58,10 @@ class AnubisEngine : public MemoryEngine
         // before the entry lands (the fetched block then simply was
         // never cached).
         faultPersistPoint();
-        trace_.instant(obs::EventClass::Persist, maddr, 1);
+        trace().instant(obs::EventClass::Persist, maddr, 1);
         shadow_[maddr] = latestBytes(maddr);
-        stats_.inc("shadow_writes");
-        return config_.nvmWriteCycles;
+        stats().inc("shadow_writes");
+        return config().nvmWriteCycles;
     }
 
     void
@@ -69,9 +70,9 @@ class AnubisEngine : public MemoryEngine
         // Updates to resident blocks refresh the shadow copy; these
         // are posted (coalesced in the write-pending queue).
         faultPersistPoint();
-        trace_.instant(obs::EventClass::Persist, maddr, 1);
+        trace().instant(obs::EventClass::Persist, maddr, 1);
         shadow_[maddr] = latestBytes(maddr);
-        stats_.inc("shadow_writes");
+        stats().inc("shadow_writes");
     }
 
     void
@@ -83,8 +84,13 @@ class AnubisEngine : public MemoryEngine
         // write-back (see MemoryEngine::handleEviction).
         faultPersistPoint();
         shadow_.erase(maddr);
-        stats_.inc("shadow_writes");
+        stats().inc("shadow_writes");
     }
+
+    RecoveryReport recover() override;
+
+    /** Shadow-table occupancy (bounded by metadata cache lines). */
+    std::size_t shadowEntries() const { return shadow_.size(); }
 
   private:
     /**

@@ -9,7 +9,7 @@ namespace amnt::mee
 // ---------------------------------------------------------------- Volatile
 
 RecoveryReport
-VolatileEngine::recover()
+VolatileStrategy::recover()
 {
     RecoveryReport report;
     rebuildAndVerify(report);
@@ -22,7 +22,7 @@ VolatileEngine::recover()
 // ------------------------------------------------------------------ Strict
 
 Cycle
-StrictEngine::persistPolicy(const WriteContext &ctx)
+StrictStrategy::persist(const WriteContext &ctx)
 {
     // Read-modify-write of every ancestral node, then an ordered
     // write-through of data + counter + HMAC + the whole path. The
@@ -30,19 +30,19 @@ StrictEngine::persistPolicy(const WriteContext &ctx)
     // strict persistence runs up to 2.4x slower than volatile.
     unsigned misses = 0;
     Cycle hook = 0;
-    pathOf(ctx.counterIdx, pathScratch_);
-    const auto &path = pathScratch_;
+    pathOf(ctx.counterIdx, pathScratch());
+    const auto &path = pathScratch();
     for (const auto &ref : path)
-        hook += ensureResident(map_.nodeAddrOf(ref), misses);
-    Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
+        hook += ensureResident(map().nodeAddrOf(ref), misses);
+    Cycle lat = misses > 0 ? config().nvmReadCycles : 0;
 
     // Counter and HMAC persist atomically with the data write; the
     // ancestral path follows in postCommit — each node in the ordered
     // chain is its own crash point, and a lost tail is recomputable
     // from the (already persisted) counters.
-    const Addr wt[2] = {map_.counterBase() +
+    const Addr wt[2] = {map().counterBase() +
                             ctx.counterIdx * kBlockSize,
-                        map_.hmacAddrOf(ctx.dataAddr)};
+                        map().hmacAddrOf(ctx.dataAddr)};
     writeThroughMany(wt, 2);
 
     lat += persistCost(3 + static_cast<unsigned>(path.size()));
@@ -50,19 +50,19 @@ StrictEngine::persistPolicy(const WriteContext &ctx)
 }
 
 Cycle
-StrictEngine::postCommit(const WriteContext &ctx)
+StrictStrategy::postCommit(const WriteContext &ctx)
 {
-    pathOf(ctx.counterIdx, pathScratch_);
+    pathOf(ctx.counterIdx, pathScratch());
     Addr wt[bmt::Geometry::kMaxPathNodes];
     std::size_t nwt = 0;
-    for (const auto &ref : pathScratch_)
-        wt[nwt++] = map_.nodeAddrOf(ref);
+    for (const auto &ref : pathScratch())
+        wt[nwt++] = map().nodeAddrOf(ref);
     writeThroughMany(wt, nwt);
-    return 0; // charged in persistPolicy's persistCost
+    return 0; // charged in persist's persistCost
 }
 
 RecoveryReport
-StrictEngine::recover()
+StrictStrategy::recover()
 {
     RecoveryReport report;
     rebuildAndVerify(report);
@@ -80,18 +80,18 @@ StrictEngine::recover()
 // -------------------------------------------------------------------- Leaf
 
 Cycle
-LeafEngine::persistPolicy(const WriteContext &ctx)
+LeafStrategy::persist(const WriteContext &ctx)
 {
     // Counter and HMAC persist atomically with the data write (one
     // parallel burst to independent banks); the root register update
     // is on-chip. Tree nodes stay lazy in the metadata cache.
-    writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
-    writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    writeThrough(map().counterBase() + ctx.counterIdx * kBlockSize);
+    writeThrough(map().hmacAddrOf(ctx.dataAddr));
     return persistCost(1);
 }
 
 RecoveryReport
-LeafEngine::recover()
+LeafStrategy::recover()
 {
     RecoveryReport report;
     rebuildAndVerify(report);
@@ -104,14 +104,14 @@ LeafEngine::recover()
 // ------------------------------------------------------------------ Osiris
 
 Cycle
-OsirisEngine::persistPolicy(const WriteContext &ctx)
+OsirisStrategy::persist(const WriteContext &ctx)
 {
-    writeThrough(map_.hmacAddrOf(ctx.dataAddr));
+    writeThrough(map().hmacAddrOf(ctx.dataAddr));
     return persistCost(1);
 }
 
 Cycle
-OsirisEngine::postCommit(const WriteContext &ctx)
+OsirisStrategy::postCommit(const WriteContext &ctx)
 {
     // Stop-loss: the counter reaches NVM only every N updates (or at
     // a minor overflow), and NOT atomically with the data write — a
@@ -119,15 +119,16 @@ OsirisEngine::postCommit(const WriteContext &ctx)
     // increments, exactly what recovery re-derives by HMAC trial.
     unsigned &since = sincePersist_[ctx.counterIdx];
     ++since;
-    if (ctx.overflowed || since >= config_.osirisStopLoss) {
-        writeThrough(map_.counterBase() + ctx.counterIdx * kBlockSize);
+    if (ctx.overflowed || since >= config().osirisStopLoss) {
+        writeThrough(map().counterBase() +
+                     ctx.counterIdx * kBlockSize);
         since = 0;
     }
     return 0;
 }
 
 RecoveryReport
-OsirisEngine::recover()
+OsirisStrategy::recover()
 {
     RecoveryReport report;
     sincePersist_.clear();
@@ -144,7 +145,7 @@ OsirisEngine::recover()
     bool all_matched = true;
 
     nvm().forEachBlockIn(
-        map_.hmacBase(), map_.treeBase(),
+        map().hmacBase(), map().treeBase(),
         [&](Addr haddr, const mem::Block &hblock) {
             ++report.blocksRead; // the HMAC block itself
             for (unsigned slot = 0; slot < kTreeArity; ++slot) {
@@ -153,15 +154,16 @@ OsirisEngine::recover()
                 if (entry == 0)
                     continue;
                 const std::uint64_t data_block =
-                    (haddr - map_.hmacBase()) / kBlockSize * kTreeArity +
+                    (haddr - map().hmacBase()) / kBlockSize *
+                        kTreeArity +
                     slot;
                 const Addr daddr = blockAddr(data_block);
-                const std::uint64_t cidx = map_.counterIndexOf(daddr);
+                const std::uint64_t cidx = map().counterIndexOf(daddr);
 
                 auto &rec = counters[cidx];
                 if (!rec.loaded) {
                     mem::Block raw;
-                    nvm().peek(map_.counterBase() + cidx * kBlockSize,
+                    nvm().peek(map().counterBase() + cidx * kBlockSize,
                                raw);
                     rec.cb = bmt::CounterBlock::deserialize(raw);
                     rec.loaded = true;
@@ -170,7 +172,7 @@ OsirisEngine::recover()
 
                 mem::Block cipher{};
                 const std::uint8_t *cipher_p = nullptr;
-                if (config_.trackContents) {
+                if (config().trackContents) {
                     nvm().peek(daddr, cipher);
                     cipher_p = cipher.data();
                 }
@@ -184,7 +186,8 @@ OsirisEngine::recover()
                 // early-exit scalar loop).
                 crypto::MacRequest treqs[kMinorCounterMax + 1u];
                 unsigned ncand = 0;
-                for (unsigned d = 0; d <= config_.osirisStopLoss; ++d) {
+                for (unsigned d = 0; d <= config().osirisStopLoss;
+                     ++d) {
                     const unsigned v = base + d;
                     if (v > kMinorCounterMax)
                         break;
@@ -197,8 +200,8 @@ OsirisEngine::recover()
                     ++ncand;
                 }
                 std::uint64_t cand[kMinorCounterMax + 1u];
-                crypto_.hash->mac64xN(treqs, ncand, cand);
-                trace_.instant(obs::EventClass::CryptoBatch, ncand);
+                crypto().hash->mac64xN(treqs, ncand, cand);
+                trace().instant(obs::EventClass::CryptoBatch, ncand);
                 bool matched = false;
                 for (unsigned d = 0; d < ncand; ++d) {
                     if (cand[d] == entry) {
@@ -216,7 +219,7 @@ OsirisEngine::recover()
     // Phase 2: persist the recovered counters, then rebuild the tree
     // from them and compare with the non-volatile root register.
     for (const auto &kv : counters) {
-        persistBytes(map_.counterBase() + kv.first * kBlockSize,
+        persistBytes(map().counterBase() + kv.first * kBlockSize,
                      kv.second.cb.serialize());
         ++report.blocksWritten;
     }

@@ -1,14 +1,15 @@
 /**
  * @file
- * The static metadata-persistence baselines of the paper:
+ * The static metadata-persistence baselines of the paper, as plug-in
+ * ProtocolStrategy objects (mee/protocol.hh):
  *
- *  - VolatileEngine: write-back secure memory with no crash
+ *  - VolatileStrategy: write-back secure memory with no crash
  *    consistency. This is the normalization baseline of every figure.
- *  - StrictEngine: every metadata update on the ancestral path is
+ *  - StrictStrategy: every metadata update on the ancestral path is
  *    written through to NVM (fast recovery, slow runtime).
- *  - LeafEngine: counters + HMACs persist atomically with the data
+ *  - LeafStrategy: counters + HMACs persist atomically with the data
  *    write; tree nodes are lazy (fast runtime, slow recovery).
- *  - OsirisEngine: leaf with stop-loss counter persistence every N
+ *  - OsirisStrategy: leaf with stop-loss counter persistence every N
  *    updates; recovery re-derives counters by HMAC trial [Ye et al.].
  */
 
@@ -17,83 +18,92 @@
 
 #include <unordered_map>
 
-#include "mee/engine.hh"
+#include "mee/protocol.hh"
 
 namespace amnt::mee
 {
 
 /** Write-back baseline; not crash consistent. */
-class VolatileEngine : public MemoryEngine
+class VolatileStrategy : public ProtocolStrategy
 {
   public:
-    using MemoryEngine::MemoryEngine;
+    Protocol id() const override { return Protocol::Volatile; }
 
-    Protocol protocol() const override { return Protocol::Volatile; }
+    CrashProfile
+    crashProfile() const override
+    {
+        return {false, false,
+                "nothing persisted; root register volatile"};
+    }
+
+    Cycle persist(const WriteContext &) override { return 0; }
 
     /** The root register is volatile here: it is lost on crash. */
-    void
-    crash() override
-    {
-        MemoryEngine::crash();
-        rootRegister_ = 0;
-    }
+    void onCrash() override { clearRootRegister(); }
 
     RecoveryReport recover() override;
-
-  protected:
-    Cycle
-    persistPolicy(const WriteContext &) override
-    {
-        return 0;
-    }
 };
 
 /** Strict metadata persistence: write-through of the whole path. */
-class StrictEngine : public MemoryEngine
+class StrictStrategy : public ProtocolStrategy
 {
   public:
-    using MemoryEngine::MemoryEngine;
+    Protocol id() const override { return Protocol::Strict; }
 
-    Protocol protocol() const override { return Protocol::Strict; }
+    CrashProfile
+    crashProfile() const override
+    {
+        return {true, true,
+                "counter+hmac commit-atomic; path nodes deferred "
+                "per-node (recomputable)"};
+    }
 
-    RecoveryReport recover() override;
-
-  protected:
-    Cycle persistPolicy(const WriteContext &ctx) override;
+    Cycle persist(const WriteContext &ctx) override;
 
     /** Ancestral-path persists (recomputable; not commit-atomic). */
     Cycle postCommit(const WriteContext &ctx) override;
+
+    RecoveryReport recover() override;
 };
 
 /** Leaf metadata persistence: counters + HMACs write through. */
-class LeafEngine : public MemoryEngine
+class LeafStrategy : public ProtocolStrategy
 {
   public:
-    using MemoryEngine::MemoryEngine;
+    Protocol id() const override { return Protocol::Leaf; }
 
-    Protocol protocol() const override { return Protocol::Leaf; }
+    CrashProfile
+    crashProfile() const override
+    {
+        return {true, true,
+                "counter+hmac commit-atomic; tree fully lazy"};
+    }
+
+    Cycle persist(const WriteContext &ctx) override;
 
     RecoveryReport recover() override;
-
-  protected:
-    Cycle persistPolicy(const WriteContext &ctx) override;
 };
 
 /** Osiris: stop-loss counter persistence. */
-class OsirisEngine : public MemoryEngine
+class OsirisStrategy : public ProtocolStrategy
 {
   public:
-    using MemoryEngine::MemoryEngine;
+    Protocol id() const override { return Protocol::Osiris; }
 
-    Protocol protocol() const override { return Protocol::Osiris; }
+    CrashProfile
+    crashProfile() const override
+    {
+        return {true, false,
+                "hmac commit-atomic; counters deferred up to "
+                "stop-loss updates"};
+    }
 
-    RecoveryReport recover() override;
-
-  protected:
-    Cycle persistPolicy(const WriteContext &ctx) override;
+    Cycle persist(const WriteContext &ctx) override;
 
     /** Stop-loss counter persists (deferred; not commit-atomic). */
     Cycle postCommit(const WriteContext &ctx) override;
+
+    RecoveryReport recover() override;
 
   private:
     /** Updates since the last persist, per counter block. */

@@ -8,10 +8,10 @@
 namespace amnt::mee
 {
 
-BmfEngine::BmfEngine(const MeeConfig &config, mem::NvmDevice &nvm)
-    : MemoryEngine(config, nvm)
+void
+BmfStrategy::onAttach()
 {
-    if (config.bmfRootCacheEntries < 8)
+    if (config().bmfRootCacheEntries < 8)
         fatal("BMF needs at least 8 NV root-cache entries");
     // The set starts as {global root}: full coverage, strict-like
     // behaviour everywhere until pruning adapts to the workload.
@@ -20,28 +20,28 @@ BmfEngine::BmfEngine(const MeeConfig &config, mem::NvmDevice &nvm)
 }
 
 void
-BmfEngine::rebuildIndex()
+BmfStrategy::rebuildIndex()
 {
     index_.clear();
     for (std::size_t i = 0; i < roots_.size(); ++i)
-        index_[map_.geometry().linearId(roots_[i].ref)] = i;
+        index_[map().geometry().linearId(roots_[i].ref)] = i;
 }
 
 bool
-BmfEngine::inSet(bmt::NodeRef ref) const
+BmfStrategy::inSet(bmt::NodeRef ref) const
 {
-    return index_.count(map_.geometry().linearId(ref)) != 0;
+    return index_.count(map().geometry().linearId(ref)) != 0;
 }
 
 std::size_t
-BmfEngine::coveringIndex(std::uint64_t counter_idx) const
+BmfStrategy::coveringIndex(std::uint64_t counter_idx) const
 {
     // Walk the ancestral path from the deepest node up; the first
     // path node in the set covers this counter. The set is an
     // antichain covering the tree, so exactly one exists.
-    bmt::NodeRef ref = map_.geometry().leafNodeOf(counter_idx);
+    bmt::NodeRef ref = map().geometry().leafNodeOf(counter_idx);
     while (true) {
-        auto it = index_.find(map_.geometry().linearId(ref));
+        auto it = index_.find(map().geometry().linearId(ref));
         if (it != index_.end())
             return it->second;
         if (ref.level == 1)
@@ -53,15 +53,15 @@ BmfEngine::coveringIndex(std::uint64_t counter_idx) const
 }
 
 unsigned
-BmfEngine::coveringLevel(std::uint64_t counter_idx) const
+BmfStrategy::coveringLevel(std::uint64_t counter_idx) const
 {
     return roots_[coveringIndex(counter_idx)].ref.level;
 }
 
 bool
-BmfEngine::covers(std::uint64_t counter_idx) const
+BmfStrategy::covers(std::uint64_t counter_idx) const
 {
-    bmt::NodeRef ref = map_.geometry().leafNodeOf(counter_idx);
+    bmt::NodeRef ref = map().geometry().leafNodeOf(counter_idx);
     unsigned found = 0;
     while (true) {
         if (inSet(ref))
@@ -74,13 +74,13 @@ BmfEngine::covers(std::uint64_t counter_idx) const
 }
 
 void
-BmfEngine::refreshEntry(std::size_t i)
+BmfStrategy::refreshEntry(std::size_t i)
 {
-    roots_[i].value = tree_->node(roots_[i].ref);
+    roots_[i].value = tree().node(roots_[i].ref);
 }
 
 Cycle
-BmfEngine::persistPolicy(const WriteContext &ctx)
+BmfStrategy::persist(const WriteContext &ctx)
 {
     const std::size_t cover = coveringIndex(ctx.counterIdx);
     ++roots_[cover].uses;
@@ -92,25 +92,25 @@ BmfEngine::persistPolicy(const WriteContext &ctx)
     unsigned misses = 0;
     Cycle hook = 0;
     unsigned below = 0;
-    pathOf(ctx.counterIdx, pathScratch_);
-    const auto &path = pathScratch_;
+    pathOf(ctx.counterIdx, pathScratch());
+    const auto &path = pathScratch();
     for (const auto &ref : path) {
         if (ref.level <= cover_level)
             break;
-        hook += ensureResident(map_.nodeAddrOf(ref), misses);
+        hook += ensureResident(map().nodeAddrOf(ref), misses);
         ++below;
     }
-    Cycle lat = misses > 0 ? config_.nvmReadCycles : 0;
+    Cycle lat = misses > 0 ? config().nvmReadCycles : 0;
 
     // One batched write-through of the persist set below the cover.
     Addr wt[2 + bmt::Geometry::kMaxPathNodes];
     std::size_t nwt = 0;
-    wt[nwt++] = map_.counterBase() + ctx.counterIdx * kBlockSize;
-    wt[nwt++] = map_.hmacAddrOf(ctx.dataAddr);
+    wt[nwt++] = map().counterBase() + ctx.counterIdx * kBlockSize;
+    wt[nwt++] = map().hmacAddrOf(ctx.dataAddr);
     for (const auto &ref : path) {
         if (ref.level <= cover_level)
             break;
-        wt[nwt++] = map_.nodeAddrOf(ref);
+        wt[nwt++] = map().nodeAddrOf(ref);
     }
     writeThroughMany(wt, nwt);
     refreshEntry(cover);
@@ -120,12 +120,12 @@ BmfEngine::persistPolicy(const WriteContext &ctx)
 }
 
 Cycle
-BmfEngine::postCommit(const WriteContext &)
+BmfStrategy::postCommit(const WriteContext &)
 {
     // Adaptation runs between writes, outside the commit group: a
     // crash can land before, inside (at each merge/prune boundary),
     // or after it.
-    if (++writesSinceAdapt_ >= config_.bmfInterval) {
+    if (++writesSinceAdapt_ >= config().bmfInterval) {
         writesSinceAdapt_ = 0;
         adapt();
     }
@@ -133,9 +133,9 @@ BmfEngine::postCommit(const WriteContext &)
 }
 
 void
-BmfEngine::adapt()
+BmfStrategy::adapt()
 {
-    const unsigned leaf_level = map_.geometry().nodeLevels();
+    const unsigned leaf_level = map().geometry().nodeLevels();
 
     // Prune: split the hottest non-leaf-level root into its children.
     std::size_t hottest = roots_.size();
@@ -151,14 +151,14 @@ BmfEngine::adapt()
     if (hottest < roots_.size()) {
         // Make room by merging the coldest full sibling group while
         // the cache cannot absorb seven more entries.
-        while (roots_.size() + 7 > config_.bmfRootCacheEntries) {
+        while (roots_.size() + 7 > config().bmfRootCacheEntries) {
             // Group entries by parent; only groups with all eight
             // siblings present are mergeable (prune creates such
             // groups, so one always exists when size > 1).
             std::unordered_map<std::uint64_t,
                                std::pair<unsigned, std::uint64_t>>
                 groups; // parent linear id -> (count, total uses)
-            const auto &geo = map_.geometry();
+            const auto &geo = map().geometry();
             for (const auto &e : roots_) {
                 if (e.ref.level == 1)
                     continue;
@@ -188,7 +188,7 @@ BmfEngine::adapt()
             // children's write-throughs and the root-set mutation
             // must not tear (a crash in between would leave counters
             // covered by no persistent root).
-            fault::CommitScope merge(nvm_->faultDomain());
+            fault::CommitScope merge(nvm().faultDomain());
             // The children leave the NV cache: persist their latest
             // values so nothing below the new covering root is stale.
             Addr child_wt[kTreeArity];
@@ -196,7 +196,7 @@ BmfEngine::adapt()
             for (const auto &e : roots_) {
                 if (e.ref.level == parent.level + 1 &&
                     bmt::Geometry::parentOf(e.ref) == parent)
-                    child_wt[n_child++] = map_.nodeAddrOf(e.ref);
+                    child_wt[n_child++] = map().nodeAddrOf(e.ref);
             }
             writeThroughMany(child_wt, n_child);
             std::erase_if(roots_, [&](const RootEntry &e) {
@@ -207,11 +207,11 @@ BmfEngine::adapt()
             // its children were NV-cached (current), and deeper
             // levels were written through, so installing the parent
             // with its architectural value preserves coverage.
-            roots_.push_back({parent, tree_->node(parent),
+            roots_.push_back({parent, tree().node(parent),
                               victim_uses / 2});
             rebuildIndex();
-            stats_.inc("bmf_merges");
-            trace_.instant(obs::EventClass::RootAdapt, 1);
+            stats().inc("bmf_merges");
+            trace().instant(obs::EventClass::RootAdapt, 1);
             // Indices moved; re-locate the hottest entry.
             hottest = roots_.size();
             best = 0;
@@ -230,19 +230,19 @@ BmfEngine::adapt()
         // single atomic NV-cache transaction (pure register-file
         // update: the children's values come from the architectural
         // tree, which prune leaves fully covered).
-        fault::CommitScope prune(nvm_->faultDomain());
+        fault::CommitScope prune(nvm().faultDomain());
         const RootEntry victim = roots_[hottest];
         roots_.erase(roots_.begin() +
                      static_cast<std::ptrdiff_t>(hottest));
         for (unsigned slot = 0; slot < kTreeArity; ++slot) {
             const bmt::NodeRef child =
-                map_.geometry().childOf(victim.ref, slot);
+                map().geometry().childOf(victim.ref, slot);
             roots_.push_back(
-                {child, tree_->node(child), victim.uses / kTreeArity});
+                {child, tree().node(child), victim.uses / kTreeArity});
         }
         rebuildIndex();
-        stats_.inc("bmf_prunes");
-        trace_.instant(obs::EventClass::RootAdapt, 0);
+        stats().inc("bmf_prunes");
+        trace().instant(obs::EventClass::RootAdapt, 0);
     }
 
     // Age the usage counters so the set keeps tracking the workload.
@@ -251,7 +251,7 @@ BmfEngine::adapt()
 }
 
 RecoveryReport
-BmfEngine::recover()
+BmfStrategy::recover()
 {
     RecoveryReport report;
 
@@ -262,7 +262,7 @@ BmfEngine::recover()
     rebuildAndVerify(scratch);
     bool set_ok = true;
     for (const auto &e : roots_) {
-        if (tree_->node(e.ref) != e.value) {
+        if (tree().node(e.ref) != e.value) {
             set_ok = false;
             break;
         }

@@ -22,18 +22,30 @@
 #include <unordered_map>
 #include <vector>
 
-#include "mee/engine.hh"
+#include "mee/protocol.hh"
 
 namespace amnt::mee
 {
 
 /** Persistent-root-set metadata persistence. */
-class BmfEngine : public MemoryEngine
+class BmfStrategy : public ProtocolStrategy
 {
   public:
-    BmfEngine(const MeeConfig &config, mem::NvmDevice &nvm);
+    Protocol id() const override { return Protocol::Bmf; }
 
-    Protocol protocol() const override { return Protocol::Bmf; }
+    CrashProfile
+    crashProfile() const override
+    {
+        return {true, false,
+                "counter+hmac+subpath below the covering NV root "
+                "commit-atomic; prune/merge each its own atomic "
+                "NV-cache transaction"};
+    }
+
+    Cycle persist(const WriteContext &ctx) override;
+
+    /** Interval prune/merge adaptation (not commit-atomic). */
+    Cycle postCommit(const WriteContext &ctx) override;
 
     RecoveryReport recover() override;
 
@@ -47,10 +59,7 @@ class BmfEngine : public MemoryEngine
     bool covers(std::uint64_t counter_idx) const;
 
   protected:
-    Cycle persistPolicy(const WriteContext &ctx) override;
-
-    /** Interval prune/merge adaptation (not commit-atomic). */
-    Cycle postCommit(const WriteContext &ctx) override;
+    void onAttach() override;
 
   private:
     struct RootEntry

@@ -8,6 +8,7 @@
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "fault/fault.hh"
+#include "mee/protocol.hh"
 #include "obs/registry.hh"
 
 namespace amnt::mee
@@ -24,18 +25,39 @@ protocolName(Protocol p)
       case Protocol::Anubis: return "anubis";
       case Protocol::Bmf: return "bmf";
       case Protocol::Amnt: return "amnt";
+      case Protocol::Phoenix: return "phoenix";
+      case Protocol::Stit: return "stit";
     }
     return "?";
 }
 
-MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm)
+void
+ProtocolStrategy::attach(MemoryEngine &engine)
+{
+    if (eng_ != nullptr)
+        fatal("protocol strategy attached twice");
+    eng_ = &engine;
+    onAttach();
+}
+
+void
+ProtocolStrategy::propagateParent(Addr parent_addr)
+{
+    markDirty(parent_addr);
+}
+
+MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm,
+                           std::unique_ptr<ProtocolStrategy> strategy)
     : config_(config), map_(config.dataBytes), nvm_(&nvm),
       crypto_(crypto::CryptoSuite::make(config.plane, config.keySeed)),
       mcache_(config.metaCache),
       mcacheDirtyOccupancy_(
           0.0, static_cast<double>(mcache_.lines()) + 1.0,
-          static_cast<std::size_t>(mcache_.lines()) + 1)
+          static_cast<std::size_t>(mcache_.lines()) + 1),
+      strategy_(std::move(strategy))
 {
+    if (strategy_ == nullptr)
+        fatal("memory engine needs a protocol strategy");
     if (nvm.capacity() < map_.deviceBytes())
         fatal("NVM device (%llu B) smaller than required layout "
               "(%llu B data + metadata)",
@@ -47,12 +69,21 @@ MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm)
     metaFetches_ = &stats_.counter("meta_fetches");
     metaWritebacks_ = &stats_.counter("meta_writebacks");
     persistWrites_ = &stats_.counter("persist_writes");
+    strategy_->attach(*this);
+}
+
+MemoryEngine::~MemoryEngine() = default;
+
+Protocol
+MemoryEngine::protocol() const
+{
+    return strategy_->id();
 }
 
 std::string
 MemoryEngine::statPath() const
 {
-    return protocolName(protocol());
+    return strategy_->statPath();
 }
 
 void
@@ -70,28 +101,6 @@ MemoryEngine::registerStats(obs::StatRegistry &reg,
                      &hostCryptoBatchNs_);
     reg.addScalar(prefix + ".violations",
                   [this] { return violations_; });
-}
-
-Cycle
-MemoryEngine::onMetaInsert(Addr)
-{
-    return 0;
-}
-
-Cycle
-MemoryEngine::postCommit(const WriteContext &)
-{
-    return 0;
-}
-
-void
-MemoryEngine::onMetaUpdate(Addr)
-{
-}
-
-void
-MemoryEngine::onMetaEvict(Addr, bool)
-{
 }
 
 mem::Block
@@ -246,7 +255,7 @@ MemoryEngine::handleEviction(const cache::AccessResult &res)
         // victim's entry in the same breath as its write-back, so a
         // crash never sees the entry gone but the write-back lost.
         fault::CommitScope evict_unit(nvm_->faultDomain());
-        onMetaEvict(victim, res.evictedDirty);
+        strategy_->onMetaEvict(victim, res.evictedDirty);
         if (res.evictedDirty) {
             // Lazy write-back: the victim's latest bytes reach NVM.
             ++*metaWritebacks_;
@@ -262,15 +271,9 @@ MemoryEngine::handleEviction(const cache::AccessResult &res)
     if (map_.classify(victim) == mem::Region::Tree) {
         const bmt::NodeRef ref = map_.nodeOfAddr(victim);
         if (ref.level > 1)
-            propagateParent(
+            strategy_->propagateParent(
                 map_.nodeAddrOf(bmt::Geometry::parentOf(ref)));
     }
-}
-
-void
-MemoryEngine::propagateParent(Addr parent_addr)
-{
-    markDirty(parent_addr);
 }
 
 Cycle
@@ -289,7 +292,7 @@ MemoryEngine::ensureResident(Addr maddr, unsigned &misses)
     verifyFetched(maddr, bytes);
     const cache::AccessResult res = mcache_.insert(maddr, false);
     handleEviction(res);
-    return onMetaInsert(maddr);
+    return strategy_->onMetaInsert(maddr);
 }
 
 Cycle
@@ -336,9 +339,9 @@ MemoryEngine::markDirty(Addr maddr)
         verifyFetched(maddr, bytes);
         const cache::AccessResult res = mcache_.insert(maddr, true);
         handleEviction(res);
-        onMetaInsert(maddr);
+        strategy_->onMetaInsert(maddr);
     }
-    onMetaUpdate(maddr);
+    strategy_->onMetaUpdate(maddr);
 }
 
 void
@@ -349,7 +352,7 @@ MemoryEngine::writeThrough(Addr maddr)
     ++*persistWrites_;
     persistBytes(maddr, latestBytes(maddr));
     mcache_.clean(maddr);
-    onMetaUpdate(maddr);
+    strategy_->onMetaUpdate(maddr);
 }
 
 void
@@ -374,7 +377,7 @@ MemoryEngine::writeThroughMany(const Addr *addrs, std::size_t n)
         persistBytesMany(a, ptrs, chunk);
         for (std::size_t k = 0; k < chunk; ++k) {
             mcache_.clean(a[k]);
-            onMetaUpdate(a[k]);
+            strategy_->onMetaUpdate(a[k]);
         }
         addrs += chunk;
         n -= chunk;
@@ -693,10 +696,10 @@ MemoryEngine::write(Addr addr, const std::uint8_t *data)
         // lazily computed NV root register stays consistent with NVM).
         fault::CommitScope commit(nvm_->faultDomain());
         lat = writeCommon(addr, data, ctx);
-        lat += persistPolicy(ctx);
+        lat += strategy_->persist(ctx);
     }
     // Deferred, non-atomic per-write work (crashable boundaries).
-    lat += postCommit(ctx);
+    lat += strategy_->postCommit(ctx);
     mcacheDirtyOccupancy_.add(
         static_cast<double>(mcache_.dirtyLines()));
     if (trace_.on()) {
@@ -713,10 +716,20 @@ MemoryEngine::crash()
     // latch it before the architectural tree becomes unreachable
     // (recovery rebuilds tree_ from NVM and compares against this).
     refreshRootRegister();
+    // The protocol's crash hook runs while the metadata cache is
+    // still inspectable (dirty-line latches) but after the root
+    // register latched (Volatile zeroes it here).
+    strategy_->onCrash();
     // Volatile on-chip state vanishes; NVM and NV registers survive.
     mcache_.invalidateAll();
     crashed_ = true;
     trace_.instant(obs::EventClass::Crash);
+}
+
+RecoveryReport
+MemoryEngine::recover()
+{
+    return strategy_->recover();
 }
 
 void

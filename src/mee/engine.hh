@@ -17,9 +17,11 @@
  * NVM device holds the persisted values. The delta between the two is
  * exactly what a crash loses, so each metadata-persistence protocol is
  * expressed as "which updates are written through, and what extra
- * work the slow paths cost". Subclasses implement the paper's
- * protocols: volatile write-back, strict, leaf, Osiris, Anubis, BMF,
- * and AMNT (in src/core).
+ * work the slow paths cost". The protocols themselves are plug-in
+ * ProtocolStrategy objects (mee/protocol.hh): volatile write-back,
+ * strict, leaf, Osiris, Anubis, BMF, Phoenix, STIT, and AMNT (in
+ * src/core). The engine owns one strategy and forwards the
+ * protocol-specific hooks to it.
  */
 
 #ifndef AMNT_MEE_ENGINE_HH
@@ -59,7 +61,16 @@ enum class Protocol
     Anubis,   ///< shadow-table tracking of cached metadata
     Bmf,      ///< Bonsai Merkle Forest persistent root set
     Amnt,     ///< this paper: tree-within-a-tree hybrid
+    Phoenix,  ///< epoch-flushed tree of counters [arXiv:1911.01922]
+    Stit,     ///< coalesced/pipelined BMT updates [arXiv:2003.04693]
 };
+
+/**
+ * Number of Protocol enum members. The protocol registry
+ * (core/protocol_registry.hh) is tested against this, so adding an
+ * enum member without a registry entry is a test failure.
+ */
+inline constexpr unsigned kProtocolCount = 9;
 
 /** Human-readable protocol name (matches the paper's figure labels). */
 const char *protocolName(Protocol p);
@@ -94,6 +105,9 @@ struct MeeConfig
     unsigned amntHistoryEntries = 64;
     unsigned bmfRootCacheEntries = 64; ///< 4 kB NV cache
     unsigned bmfInterval = 1024;       ///< writes between prune/merge
+    unsigned phoenixEpoch = 64;  ///< writes per dirty-tree flush epoch
+    unsigned stitQueueDepth = 16; ///< pending-update pipeline bound
+    unsigned stitDrain = 2;       ///< pending persists drained per write
 };
 
 /** Outcome of crash recovery. */
@@ -108,23 +122,44 @@ struct RecoveryReport
     std::string detail;
 };
 
+class ProtocolStrategy;
+
+/** Context handed to the protocol's persistence hooks. */
+struct WriteContext
+{
+    Addr dataAddr = 0;
+    std::uint64_t counterIdx = 0;
+    bool overflowed = false; ///< page re-encryption happened
+};
+
 /**
- * Base secure-memory engine: full read path, write-path skeleton, and
- * the metadata cache/NVM plumbing shared by every protocol.
+ * The secure-memory engine: full read path, write-path skeleton, and
+ * the metadata cache/NVM plumbing shared by every protocol. The
+ * protocol-specific decisions are delegated to the owned
+ * ProtocolStrategy (mee/protocol.hh).
  */
 class MemoryEngine
 {
   public:
     /**
-     * @param config Engine configuration.
-     * @param nvm    Backing device; must cover
-     *               MemoryMap(config.dataBytes).deviceBytes().
+     * @param config   Engine configuration.
+     * @param nvm      Backing device; must cover
+     *                 MemoryMap(config.dataBytes).deviceBytes().
+     * @param strategy The persistence protocol; attached here.
      */
-    MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm);
-    virtual ~MemoryEngine() = default;
+    MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm,
+                 std::unique_ptr<ProtocolStrategy> strategy);
+    ~MemoryEngine();
+
+    MemoryEngine(const MemoryEngine &) = delete;
+    MemoryEngine &operator=(const MemoryEngine &) = delete;
 
     /** Which protocol this engine implements. */
-    virtual Protocol protocol() const = 0;
+    Protocol protocol() const;
+
+    /** The protocol strategy (tests downcast to concrete types). */
+    ProtocolStrategy &strategy() { return *strategy_; }
+    const ProtocolStrategy &strategy() const { return *strategy_; }
 
     /**
      * Service an LLC read miss for the block at @p addr.
@@ -146,10 +181,10 @@ class MemoryEngine
      * non-volatile registers survive. The engine must not be used
      * again until recover() succeeds.
      */
-    virtual void crash();
+    void crash();
 
     /** Rebuild a trusted state from NVM + NV registers. */
-    virtual RecoveryReport recover() = 0;
+    RecoveryReport recover();
 
     /** Number of integrity violations detected so far. */
     std::uint64_t violations() const { return violations_; }
@@ -168,7 +203,7 @@ class MemoryEngine
      * default; AMNT refines it with the subtree level ("amnt.l3") so
      * sweep dumps separate configurations (DESIGN.md §11).
      */
-    virtual std::string statPath() const;
+    std::string statPath() const;
 
     /**
      * Federate this engine's stats under `<prefix>.<statPath()>.*`
@@ -215,59 +250,7 @@ class MemoryEngine
      */
     std::vector<Addr> staleMetadataBlocks() const;
 
-    /**
-     * Factory for the baseline protocols in this directory
-     * (Volatile/Strict/Leaf/Osiris/Anubis/Bmf). AMNT engines are
-     * created via core::AmntEngine or core::makeEngine, which also
-     * handles the baseline kinds.
-     */
-    static std::unique_ptr<MemoryEngine>
-    makeBaseline(Protocol p, const MeeConfig &config,
-                 mem::NvmDevice &nvm);
-
   protected:
-    /** Context handed to the protocol's persistence hook. */
-    struct WriteContext
-    {
-        Addr dataAddr = 0;
-        std::uint64_t counterIdx = 0;
-        bool overflowed = false; ///< page re-encryption happened
-    };
-
-    /**
-     * Persist policy: called once per write after the architectural
-     * update; returns the critical-path latency it adds. Runs inside
-     * the write's commit group (fault/fault.hh): its persists are
-     * atomic with the architectural update.
-     */
-    virtual Cycle persistPolicy(const WriteContext &ctx) = 0;
-
-    /**
-     * Deferred per-write work that is NOT atomic with the data write:
-     * runs after the commit group closes, so a crash can fall between
-     * the committed write and this (stop-loss counter persists,
-     * subtree movement, root-set adaptation, strict/leaf path
-     * persists of recomputable nodes). Returns added latency.
-     */
-    virtual Cycle postCommit(const WriteContext &ctx);
-
-    /** Hook: a metadata block was inserted into the cache. */
-    virtual Cycle onMetaInsert(Addr maddr);
-
-    /** Hook: a cached metadata block's value changed. */
-    virtual void onMetaUpdate(Addr maddr);
-
-    /** Hook: a metadata block left the cache. */
-    virtual void onMetaEvict(Addr maddr, bool dirty);
-
-    /**
-     * Hook: a dirty tree node was written back and its parent must
-     * now track the new hash. The default keeps the parent lazy
-     * (dirty in cache); AMNT overrides to write parents outside the
-     * fast subtree straight through, preserving its staleness bound.
-     */
-    virtual void propagateParent(Addr parent_addr);
-
     /**
      * Ensure @p maddr is resident in the metadata cache, fetching
      * (and verifying against the trust chain) on a miss.
@@ -438,6 +421,11 @@ class MemoryEngine
     std::uint64_t violations_ = 0;
 
   private:
+    /** The plug-in persistence protocol (mee/protocol.hh). */
+    std::unique_ptr<ProtocolStrategy> strategy_;
+
+    friend class ProtocolStrategy;
+
     // Per-access statistics resolved once (see StatGroup::counter).
     std::uint64_t *dataReads_;
     std::uint64_t *dataWrites_;

@@ -2,30 +2,37 @@
 #include "mee/anubis.hh"
 #include "mee/baselines.hh"
 #include "mee/bmf.hh"
-#include "mee/engine.hh"
+#include "mee/phoenix.hh"
+#include "mee/protocol.hh"
+#include "mee/stit.hh"
 
 namespace amnt::mee
 {
 
-std::unique_ptr<MemoryEngine>
-MemoryEngine::makeBaseline(Protocol p, const MeeConfig &config,
-                           mem::NvmDevice &nvm)
+std::unique_ptr<ProtocolStrategy>
+makeStrategy(Protocol p, const MeeConfig &config)
 {
+    (void)config; // mee-layer strategies read knobs after attach()
     switch (p) {
       case Protocol::Volatile:
-        return std::make_unique<VolatileEngine>(config, nvm);
+        return std::make_unique<VolatileStrategy>();
       case Protocol::Strict:
-        return std::make_unique<StrictEngine>(config, nvm);
+        return std::make_unique<StrictStrategy>();
       case Protocol::Leaf:
-        return std::make_unique<LeafEngine>(config, nvm);
+        return std::make_unique<LeafStrategy>();
       case Protocol::Osiris:
-        return std::make_unique<OsirisEngine>(config, nvm);
+        return std::make_unique<OsirisStrategy>();
       case Protocol::Anubis:
-        return std::make_unique<AnubisEngine>(config, nvm);
+        return std::make_unique<AnubisStrategy>();
       case Protocol::Bmf:
-        return std::make_unique<BmfEngine>(config, nvm);
+        return std::make_unique<BmfStrategy>();
+      case Protocol::Phoenix:
+        return std::make_unique<PhoenixStrategy>();
+      case Protocol::Stit:
+        return std::make_unique<StitStrategy>();
       case Protocol::Amnt:
-        fatal("use core::makeEngine for the AMNT protocol");
+        fatal("AMNT lives in the core layer; use the protocol "
+              "registry (core::makeEngine)");
     }
     panic("unknown protocol");
 }

@@ -120,10 +120,10 @@ System::System(const SystemConfig &config) : config_(config)
         registry_.addGroup("cache." + llc_->name(), &llc_->stats());
 }
 
-core::AmntEngine *
+core::AmntStrategy *
 System::amnt()
 {
-    return dynamic_cast<core::AmntEngine *>(engine_.get());
+    return dynamic_cast<core::AmntStrategy *>(&engine_->strategy());
 }
 
 void

@@ -139,8 +139,8 @@ class System
         return histogram_;
     }
 
-    /** AMNT engine accessor; nullptr for other protocols. */
-    core::AmntEngine *amnt();
+    /** AMNT strategy accessor; nullptr for other protocols. */
+    core::AmntStrategy *amnt();
 
     /**
      * The federated stats registry: every component of this system

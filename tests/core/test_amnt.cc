@@ -21,10 +21,10 @@ amntConfig()
     return cfg;
 }
 
-core::AmntEngine &
+core::AmntStrategy &
 amnt(Rig &rig)
 {
-    return static_cast<core::AmntEngine &>(*rig.engine);
+    return static_cast<core::AmntStrategy &>(rig.engine->strategy());
 }
 
 TEST(Amnt, StaleSetConfinedToFastSubtree)

@@ -55,7 +55,7 @@ TEST_P(AmntLevelSweep, CrashRecoveryHoldsAtEveryLevel)
 TEST_P(AmntLevelSweep, StalenessConfinedAtEveryLevel)
 {
     Rig rig(mee::Protocol::Amnt, config(GetParam()));
-    auto &e = static_cast<core::AmntEngine &>(*rig.engine);
+    auto &e = static_cast<core::AmntStrategy &>(rig.engine->strategy());
     Rng rng(GetParam() * 313);
     for (int i = 0; i < 300; ++i)
         test::writePattern(

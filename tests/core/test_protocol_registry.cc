@@ -1,0 +1,127 @@
+/**
+ * Registry sync regression: the protocol table, the Protocol enum,
+ * the CLI names, and the derived enrollment lists must stay in
+ * lockstep. A protocol added to the enum but not the table (or vice
+ * versa) fails here before it can silently skip the test matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/protocol_registry.hh"
+
+namespace amnt
+{
+namespace
+{
+
+TEST(ProtocolRegistry, CoversTheWholeEnumInOrder)
+{
+    const auto &table = core::protocolRegistry();
+    ASSERT_EQ(table.size(), mee::kProtocolCount);
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        EXPECT_EQ(static_cast<std::size_t>(table[i].id), i);
+        EXPECT_STREQ(table[i].name, mee::protocolName(table[i].id));
+        EXPECT_NE(table[i].make, nullptr);
+        EXPECT_STRNE(table[i].summary, "");
+    }
+}
+
+TEST(ProtocolRegistry, NameLookupRoundTrips)
+{
+    for (mee::Protocol p : core::allProtocols()) {
+        const auto found = core::findProtocol(mee::protocolName(p));
+        ASSERT_TRUE(found.has_value()) << mee::protocolName(p);
+        EXPECT_EQ(*found, p);
+        EXPECT_EQ(core::protocolByName(mee::protocolName(p)), p);
+    }
+    EXPECT_FALSE(core::findProtocol("no-such-protocol").has_value());
+    EXPECT_EXIT(core::protocolByName("no-such-protocol"),
+                ::testing::ExitedWithCode(1), "phoenix");
+}
+
+TEST(ProtocolRegistry, NameListMentionsEveryProtocol)
+{
+    const std::string list = core::protocolNameList();
+    for (mee::Protocol p : core::allProtocols())
+        EXPECT_NE(list.find(mee::protocolName(p)), std::string::npos)
+            << mee::protocolName(p);
+}
+
+TEST(ProtocolRegistry, FigureColumnsMatchThePaper)
+{
+    // Figures 4/5 pin the paper's column order; Phoenix and STIT are
+    // fig04 extras appended after it, never interleaved.
+    const auto figure = core::figureProtocols();
+    const std::vector<mee::Protocol> want = {
+        mee::Protocol::Leaf, mee::Protocol::Strict,
+        mee::Protocol::Anubis, mee::Protocol::Bmf,
+        mee::Protocol::Amnt};
+    EXPECT_EQ(figure, want);
+    const auto extra = core::fig04ExtraProtocols();
+    const std::vector<mee::Protocol> want_extra = {
+        mee::Protocol::Phoenix, mee::Protocol::Stit};
+    EXPECT_EQ(extra, want_extra);
+}
+
+TEST(ProtocolRegistry, EnrollmentListsFollowCrashProfiles)
+{
+    const auto persistent = core::persistentProtocols();
+    const auto at_rest = core::tamperAtRestProtocols();
+    for (mee::Protocol p : core::allProtocols()) {
+        const mee::CrashProfile profile = core::crashProfileOf(p);
+        const bool in_persistent =
+            std::find(persistent.begin(), persistent.end(), p) !=
+            persistent.end();
+        const bool in_at_rest =
+            std::find(at_rest.begin(), at_rest.end(), p) !=
+            at_rest.end();
+        EXPECT_EQ(in_persistent, profile.persistent)
+            << mee::protocolName(p);
+        EXPECT_EQ(in_at_rest, profile.tamperAtRestDetects)
+            << mee::protocolName(p);
+        EXPECT_STRNE(profile.boundaries, "")
+            << mee::protocolName(p);
+    }
+    // The new baselines are full citizens of both matrices.
+    EXPECT_NE(std::find(persistent.begin(), persistent.end(),
+                        mee::Protocol::Phoenix),
+              persistent.end());
+    EXPECT_NE(std::find(persistent.begin(), persistent.end(),
+                        mee::Protocol::Stit),
+              persistent.end());
+    EXPECT_NE(std::find(at_rest.begin(), at_rest.end(),
+                        mee::Protocol::Phoenix),
+              at_rest.end());
+    EXPECT_NE(std::find(at_rest.begin(), at_rest.end(),
+                        mee::Protocol::Stit),
+              at_rest.end());
+    // The volatile baseline cannot promise post-crash anything.
+    EXPECT_EQ(std::find(persistent.begin(), persistent.end(),
+                        mee::Protocol::Volatile),
+              persistent.end());
+}
+
+TEST(ProtocolRegistry, KnobsNameRealConfigFields)
+{
+    // Spot-check the knob strings the --help text prints.
+    EXPECT_NE(std::string(
+                  core::protocolInfo(mee::Protocol::Phoenix).knobs)
+                  .find("phoenixEpoch"),
+              std::string::npos);
+    EXPECT_NE(std::string(
+                  core::protocolInfo(mee::Protocol::Stit).knobs)
+                  .find("stitQueueDepth"),
+              std::string::npos);
+    EXPECT_NE(std::string(
+                  core::protocolInfo(mee::Protocol::Amnt).knobs)
+                  .find("amntSubtreeLevel"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace amnt

@@ -10,10 +10,10 @@ namespace
 
 using test::Rig;
 
-core::AmntEngine &
+core::AmntStrategy &
 amnt(Rig &rig)
 {
-    return static_cast<core::AmntEngine &>(*rig.engine);
+    return static_cast<core::AmntStrategy &>(rig.engine->strategy());
 }
 
 mee::MeeConfig
@@ -122,7 +122,7 @@ TEST(Subtree, LevelValidation)
     mee::MeeConfig cfg = test::smallConfig();
     cfg.amntSubtreeLevel = 3; // valid for 4 node levels
     mem::NvmDevice nvm(mem::MemoryMap(cfg.dataBytes).deviceBytes());
-    EXPECT_NO_THROW(core::AmntEngine(cfg, nvm));
+    EXPECT_NO_THROW(core::makeEngine(mee::Protocol::Amnt, cfg, nvm));
 }
 
 } // namespace

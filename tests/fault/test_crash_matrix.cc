@@ -9,7 +9,8 @@
  * node levels 1..4) so the exhaustive sweep stays in CI budget; a
  * strided medium geometry runs when AMNT_FAULT_GEOMETRY=medium. A
  * failing boundary prints its crash-point ID; reproduce it alone with
- *   AMNT_FAULT_POINT=<id> ./test_fault --gtest_filter='CrashMatrix.*<proto>*'
+ *   AMNT_FAULT_POINT=<id> ./test_fault \
+ *       --gtest_filter='Registry/CrashMatrix.AllBoundariesRecover/<proto>'
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +18,7 @@
 #include <cstdlib>
 
 #include "common/log.hh"
+#include "core/protocol_registry.hh"
 #include "fault/crash_schedule.hh"
 #include "fault/fault.hh"
 
@@ -85,47 +87,56 @@ runMatrix(const fault::ScheduleConfig &cfg)
 
 } // namespace
 
-TEST(CrashMatrix, Strict)
+/**
+ * Every persistent protocol in the registry gets an exhaustive
+ * crash-matrix leg automatically: the suite is instantiated from
+ * core::persistentProtocols(), so registering a protocol enrolls it
+ * here with no per-protocol test code — and a protocol missing from
+ * the registry cannot silently skip (EveryPersistentProtocolEnrolled
+ * below pins the instantiation set).
+ */
+class CrashMatrix : public ::testing::TestWithParam<mee::Protocol>
 {
-    runMatrix(matrixConfig(mee::Protocol::Strict));
+};
+
+TEST_P(CrashMatrix, AllBoundariesRecover)
+{
+    runMatrix(matrixConfig(GetParam()));
 }
 
-TEST(CrashMatrix, Leaf)
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CrashMatrix,
+    ::testing::ValuesIn(core::persistentProtocols()),
+    [](const ::testing::TestParamInfo<mee::Protocol> &info) {
+        return std::string(mee::protocolName(info.param));
+    });
+
+TEST(CrashMatrixEnrollment, EveryPersistentProtocolEnrolled)
 {
-    runMatrix(matrixConfig(mee::Protocol::Leaf));
+    // The crash matrix covers exactly the protocols whose
+    // CrashProfile declares them persistent — today all but the
+    // volatile baseline. A protocol added to the enum but left out of
+    // the registry (or mis-declared) shrinks this set and fails here.
+    const auto enrolled = core::persistentProtocols();
+    EXPECT_EQ(enrolled.size(), mee::kProtocolCount - 1);
+    for (mee::Protocol p : core::allProtocols()) {
+        const bool persistent = core::crashProfileOf(p).persistent;
+        EXPECT_EQ(persistent, p != mee::Protocol::Volatile)
+            << mee::protocolName(p);
+    }
 }
 
-TEST(CrashMatrix, Osiris)
-{
-    runMatrix(matrixConfig(mee::Protocol::Osiris));
-}
-
-TEST(CrashMatrix, Anubis)
-{
-    runMatrix(matrixConfig(mee::Protocol::Anubis));
-}
-
-TEST(CrashMatrix, Bmf)
-{
-    runMatrix(matrixConfig(mee::Protocol::Bmf));
-}
-
-TEST(CrashMatrix, AmntLevel2)
+TEST(CrashMatrixExtra, AmntLevel2)
 {
     runMatrix(matrixConfig(mee::Protocol::Amnt, 2));
 }
 
-TEST(CrashMatrix, AmntLevel3)
-{
-    runMatrix(matrixConfig(mee::Protocol::Amnt, 3));
-}
-
-TEST(CrashMatrix, AmntLevel4)
+TEST(CrashMatrixExtra, AmntLevel4)
 {
     runMatrix(matrixConfig(mee::Protocol::Amnt, 4));
 }
 
-TEST(CrashMatrix, Hybrid)
+TEST(CrashMatrixExtra, Hybrid)
 {
     fault::ScheduleConfig cfg = matrixConfig(mee::Protocol::Amnt);
     cfg.hybrid = true;

@@ -115,6 +115,10 @@ TEST(GoldenFigures, Fig04PinnedConfigsMatchGolden)
             bench::paperSystem(mee::Protocol::Amnt, 1);
         pp.amntpp = true;
         push(pp, "amnt++");
+        // Post-paper baselines ride after the paper's columns so the
+        // original pinned rows stay byte-identical.
+        for (mee::Protocol p : core::fig04ExtraProtocols())
+            push(bench::paperSystem(p, 1), mee::protocolName(p));
     }
 
     const std::vector<sweep::Outcome> outcomes =
@@ -223,13 +227,22 @@ TEST(GoldenFigures, Table4PinnedConfigsMatchGolden)
                  [&, level](std::uint64_t s) {
                      return model.amntMs(s, level);
                  });
+    // Post-paper baselines: Phoenix restores one epoch of nodes
+    // (size-independent); STIT recomputes the inner tree like leaf.
+    analytic("phoenix", [&](std::uint64_t) {
+        return model.phoenixMs(mee::MeeConfig{}.phoenixEpoch);
+    });
+    analytic("stit", [&](std::uint64_t s) { return model.stitMs(s); });
 
     // Functional validation: real crash + recovery per protocol on a
     // pinned seeded workload (the table4 harness's second section).
+    // Registry-ordered persistent protocols, so the new baselines
+    // append after the paper's rows.
     const std::vector<mee::Protocol> protocols = {
         mee::Protocol::Strict, mee::Protocol::Leaf,
         mee::Protocol::Osiris, mee::Protocol::Anubis,
-        mee::Protocol::Bmf,    mee::Protocol::Amnt};
+        mee::Protocol::Bmf,    mee::Protocol::Amnt,
+        mee::Protocol::Phoenix, mee::Protocol::Stit};
     for (mee::Protocol p : protocols) {
         mee::MeeConfig cfg;
         cfg.dataBytes = 32ull << 20;

@@ -10,10 +10,10 @@ namespace
 
 using test::Rig;
 
-mee::AnubisEngine &
+mee::AnubisStrategy &
 anubis(Rig &rig)
 {
-    return static_cast<mee::AnubisEngine &>(*rig.engine);
+    return static_cast<mee::AnubisStrategy &>(rig.engine->strategy());
 }
 
 TEST(Anubis, ShadowTableTracksCacheOccupancy)

@@ -10,10 +10,10 @@ namespace
 
 using test::Rig;
 
-mee::BmfEngine &
+mee::BmfStrategy &
 bmf(Rig &rig)
 {
-    return static_cast<mee::BmfEngine &>(*rig.engine);
+    return static_cast<mee::BmfStrategy &>(rig.engine->strategy());
 }
 
 TEST(Bmf, StartsWithGlobalRootOnly)

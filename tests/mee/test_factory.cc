@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/amnt.hh"
+#include "core/protocol_registry.hh"
 #include "mee/mee_test_util.hh"
 
 namespace amnt
@@ -11,16 +12,13 @@ namespace
 TEST(Factory, MakesEveryProtocol)
 {
     const mee::MeeConfig cfg = test::smallConfig();
-    for (mee::Protocol p :
-         {mee::Protocol::Volatile, mee::Protocol::Strict,
-          mee::Protocol::Leaf, mee::Protocol::Osiris,
-          mee::Protocol::Anubis, mee::Protocol::Bmf,
-          mee::Protocol::Amnt}) {
+    for (mee::Protocol p : core::allProtocols()) {
         mem::NvmDevice nvm(
             mem::MemoryMap(cfg.dataBytes).deviceBytes());
         auto engine = core::makeEngine(p, cfg, nvm);
         ASSERT_NE(engine, nullptr);
         EXPECT_EQ(engine->protocol(), p);
+        EXPECT_EQ(engine->strategy().id(), p);
     }
 }
 
@@ -33,15 +31,15 @@ TEST(Factory, ProtocolNamesMatchFigureLabels)
     EXPECT_STREQ(protocolName(mee::Protocol::Anubis), "anubis");
     EXPECT_STREQ(protocolName(mee::Protocol::Bmf), "bmf");
     EXPECT_STREQ(protocolName(mee::Protocol::Amnt), "amnt");
+    EXPECT_STREQ(protocolName(mee::Protocol::Phoenix), "phoenix");
+    EXPECT_STREQ(protocolName(mee::Protocol::Stit), "stit");
 }
 
-TEST(Factory, BaselineFactoryRejectsAmnt)
+TEST(Factory, MeeLayerFactoryRejectsAmnt)
 {
     const mee::MeeConfig cfg = test::smallConfig();
-    mem::NvmDevice nvm(mem::MemoryMap(cfg.dataBytes).deviceBytes());
-    EXPECT_EXIT(
-        mee::MemoryEngine::makeBaseline(mee::Protocol::Amnt, cfg, nvm),
-        ::testing::ExitedWithCode(1), "core::makeEngine");
+    EXPECT_EXIT(mee::makeStrategy(mee::Protocol::Amnt, cfg),
+                ::testing::ExitedWithCode(1), "core::makeEngine");
 }
 
 TEST(Factory, EngineRejectsUndersizedDevice)
@@ -59,6 +57,14 @@ TEST(Factory, AmntRejectsBadSubtreeLevel)
     mem::NvmDevice nvm(mem::MemoryMap(cfg.dataBytes).deviceBytes());
     EXPECT_EXIT(core::makeEngine(mee::Protocol::Amnt, cfg, nvm),
                 ::testing::ExitedWithCode(1), "subtree level");
+}
+
+TEST(Factory, EngineRejectsNullStrategy)
+{
+    const mee::MeeConfig cfg = test::smallConfig();
+    mem::NvmDevice nvm(mem::MemoryMap(cfg.dataBytes).deviceBytes());
+    EXPECT_EXIT(mee::MemoryEngine(cfg, nvm, nullptr),
+                ::testing::ExitedWithCode(1), "protocol strategy");
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "core/protocol_registry.hh"
 #include "mee/mee_test_util.hh"
 
 namespace amnt
@@ -25,12 +26,10 @@ TEST(ProtocolDifferential, AllProtocolsAgreeOnContents)
     cfg.amntSubtreeLevel = 2;
     cfg.bmfInterval = 64;
 
+    // Every registered protocol — including the volatile baseline —
+    // must agree on contents; new registrations enroll automatically.
     std::vector<std::unique_ptr<Rig>> rigs;
-    for (mee::Protocol p :
-         {mee::Protocol::Volatile, mee::Protocol::Strict,
-          mee::Protocol::Leaf, mee::Protocol::Osiris,
-          mee::Protocol::Anubis, mee::Protocol::Bmf,
-          mee::Protocol::Amnt})
+    for (mee::Protocol p : core::allProtocols())
         rigs.push_back(std::make_unique<Rig>(p, cfg));
 
     Rng rng(31337);
@@ -79,10 +78,7 @@ TEST(ProtocolDifferential, CrashSurvivorsAgreeAfterRecovery)
     cfg.amntSubtreeLevel = 2;
 
     std::vector<std::unique_ptr<Rig>> rigs;
-    for (mee::Protocol p :
-         {mee::Protocol::Strict, mee::Protocol::Leaf,
-          mee::Protocol::Osiris, mee::Protocol::Anubis,
-          mee::Protocol::Bmf, mee::Protocol::Amnt})
+    for (mee::Protocol p : core::persistentProtocols())
         rigs.push_back(std::make_unique<Rig>(p, cfg));
 
     Rng rng(4242);

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "common/log.hh"
+#include "core/protocol_registry.hh"
 #include "mee/mee_test_util.hh"
 
 namespace amnt
@@ -111,11 +112,11 @@ TEST_P(TamperTest, ReplayOfOldCounterDetected)
     EXPECT_GT(rig_->engine->violations(), 0ull);
 }
 
+// Every persistent protocol in the registry is enrolled; registering
+// a new protocol adds its legs here automatically.
 INSTANTIATE_TEST_SUITE_P(
-    AllProtocols, TamperTest,
-    ::testing::Values(mee::Protocol::Strict, mee::Protocol::Leaf,
-                      mee::Protocol::Osiris, mee::Protocol::Anubis,
-                      mee::Protocol::Bmf, mee::Protocol::Amnt),
+    Registry, TamperTest,
+    ::testing::ValuesIn(core::persistentProtocols()),
     [](const auto &info) {
         return std::string(mee::protocolName(info.param));
     });
@@ -141,10 +142,15 @@ TEST_P(TamperAtRest, CounterCorruptionWhilePoweredOffFailsRecovery)
     setQuiet(false);
 }
 
+// Enrollment follows each protocol's declared CrashProfile: only
+// protocols whose recovery re-derives state from the persisted
+// counters (tamperAtRestDetects) can promise a powered-off counter
+// flip FAILS recovery. Osiris/Anubis/Bmf legitimately repair or
+// shadow-restore instead, so they opt out via their profile — not via
+// an edit to this file.
 INSTANTIATE_TEST_SUITE_P(
-    PersistentProtocols, TamperAtRest,
-    ::testing::Values(mee::Protocol::Strict, mee::Protocol::Leaf,
-                      mee::Protocol::Amnt),
+    Registry, TamperAtRest,
+    ::testing::ValuesIn(core::tamperAtRestProtocols()),
     [](const auto &info) {
         return std::string(mee::protocolName(info.param));
     });
@@ -285,10 +291,8 @@ TEST_P(PostCrashTamperSweep, NeverWrittenCounterBlockFailsRecovery)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    PersistentProtocols, PostCrashTamperSweep,
-    ::testing::Values(mee::Protocol::Strict, mee::Protocol::Leaf,
-                      mee::Protocol::Osiris, mee::Protocol::Anubis,
-                      mee::Protocol::Bmf, mee::Protocol::Amnt),
+    Registry, PostCrashTamperSweep,
+    ::testing::ValuesIn(core::persistentProtocols()),
     [](const auto &info) {
         return std::string(mee::protocolName(info.param));
     });

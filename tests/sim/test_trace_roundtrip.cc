@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/protocol_registry.hh"
 #include "sim/system.hh"
 #include "sim/traceio/format.hh"
 #include "sim/traceio/reader.hh"
@@ -135,13 +136,6 @@ TEST(TraceVarint, NonMonotonicAddressDeltasRoundTrip)
 
 // -------------------------------------------- record/replay invariant
 
-const mee::Protocol kAllProtocols[] = {
-    mee::Protocol::Volatile, mee::Protocol::Strict,
-    mee::Protocol::Leaf,     mee::Protocol::Osiris,
-    mee::Protocol::Anubis,   mee::Protocol::Bmf,
-    mee::Protocol::Amnt,
-};
-
 WorkloadConfig
 busyWorkload()
 {
@@ -189,7 +183,9 @@ TEST(TraceRoundTrip, ReplayReproducesRegistryDumpForEveryProtocol)
 {
     constexpr std::uint64_t kInstr = 6000;
     constexpr std::uint64_t kWarmup = 1500;
-    for (mee::Protocol p : kAllProtocols) {
+    // Enrollment is registry-driven: every protocol, volatile
+    // included, must replay to a bit-identical registry dump.
+    for (mee::Protocol p : core::allProtocols()) {
         const std::string path = tempPath(
             std::string("proto_") + mee::protocolName(p));
         const std::string live =

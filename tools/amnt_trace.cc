@@ -32,6 +32,7 @@
 
 #include "common/env.hh"
 #include "common/log.hh"
+#include "core/protocol_registry.hh"
 #include "sim/presets.hh"
 #include "sim/system.hh"
 #include "sim/traceio/champsim.hh"
@@ -53,27 +54,6 @@ struct Options
     std::uint64_t instr = 100'000;
     std::uint64_t warmup = 0;
 };
-
-mee::Protocol
-protocolByName(const std::string &name)
-{
-    static const std::pair<const char *, mee::Protocol> table[] = {
-        {"volatile", mee::Protocol::Volatile},
-        {"strict", mee::Protocol::Strict},
-        {"leaf", mee::Protocol::Leaf},
-        {"osiris", mee::Protocol::Osiris},
-        {"anubis", mee::Protocol::Anubis},
-        {"bmf", mee::Protocol::Bmf},
-        {"amnt", mee::Protocol::Amnt},
-    };
-    for (const auto &[n, p] : table) {
-        if (name == n)
-            return p;
-    }
-    fatal("unknown protocol '%s' (volatile strict leaf osiris anubis "
-          "bmf amnt)",
-          name.c_str());
-}
 
 std::uint64_t
 parseU64(const std::string &value, const char *flag)
@@ -140,8 +120,10 @@ int
 runSim(const Options &o, const std::string &record_path,
        const std::string &replay_path)
 {
+    // --protocol accepts exactly the registered names; an unknown
+    // name dies listing core::protocolNameList().
     sim::SystemConfig cfg = sim::SystemConfig::singleProgram(
-        protocolByName(o.protocol));
+        core::protocolByName(o.protocol));
     cfg.mee.dataBytes = envU64("AMNT_TRACE_DATA_BYTES", 1ull << 30);
     cfg.traceRecordPath = record_path;
 
