@@ -126,4 +126,27 @@ Histogram::reset()
     sum_ = 0.0;
 }
 
+HistogramSummary
+Histogram::snapshot() const
+{
+    HistogramSummary s;
+    s.count = count_;
+    s.mean = mean();
+    s.p50 = percentile(50.0);
+    s.p90 = percentile(90.0);
+    s.p95 = percentile(95.0);
+    s.p99 = percentile(99.0);
+    s.underflow = underflow_;
+    s.overflow = overflow_;
+    return s;
+}
+
+HistogramSummary
+Histogram::snapshotAndReset()
+{
+    const HistogramSummary s = snapshot();
+    reset();
+    return s;
+}
+
 } // namespace amnt

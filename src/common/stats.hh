@@ -105,6 +105,24 @@ class StatGroup
  * nearest-rank sample v*. Underflow resolves to lo and overflow to hi,
  * so results are always finite. An empty histogram reports 0.
  */
+/**
+ * Value snapshot of a Histogram: the summary fields campaign
+ * artifacts and registry dumps report, decoupled from the live
+ * (mutable) histogram so phase windows can be captured and the
+ * histogram reused (see Histogram::snapshotAndReset).
+ */
+struct HistogramSummary
+{
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+};
+
 class Histogram
 {
   public:
@@ -145,6 +163,18 @@ class Histogram
 
     /** Forget all samples (geometry is kept). */
     void reset();
+
+    /** Summary of the samples recorded so far. */
+    HistogramSummary snapshot() const;
+
+    /**
+     * Snapshot, then reset in place. The one safe way to reuse a
+     * histogram across measurement phases: the returned summary holds
+     * phase N's percentiles while the histogram starts phase N+1
+     * empty, so later windows can never be polluted by earlier
+     * samples (locked by tests/obs/test_histogram_percentiles.cc).
+     */
+    HistogramSummary snapshotAndReset();
 
   private:
     /** Bin of @p sample: -1 underflow, bins() overflow. */

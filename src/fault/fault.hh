@@ -100,6 +100,22 @@ class FaultDomain
         reset();
     }
 
+    /**
+     * Arm mid-run: fire at the boundary @p more boundaries ahead of
+     * the current position, keeping the numbering (no reset). Campaign
+     * suites use this to crash "somewhere ahead" inside a live
+     * workload — switch a Counting (or fresh) domain to Armed without
+     * a separate counting pass. The injected crash then still reports
+     * the absolute crash-point ID, so AMNT_FAULT_POINT reproduction
+     * works unchanged.
+     */
+    void
+    armAfter(std::uint64_t more)
+    {
+        mode_ = Mode::Armed;
+        point_ = nextId_ + more;
+    }
+
     /** Disable injection (recovery and oracle checks run freely). */
     void disarm() { mode_ = Mode::Disarmed; }
 

@@ -200,7 +200,7 @@ OsirisStrategy::recover()
                     ++ncand;
                 }
                 std::uint64_t cand[kMinorCounterMax + 1u];
-                crypto().hash->mac64xN(treqs, ncand, cand);
+                dataSuite(daddr).hash->mac64xN(treqs, ncand, cand);
                 trace().instant(obs::EventClass::CryptoBatch, ncand);
                 bool matched = false;
                 for (unsigned d = 0; d < ncand; ++d) {

@@ -63,6 +63,19 @@ MemoryEngine::MemoryEngine(const MeeConfig &config, mem::NvmDevice &nvm,
               "(%llu B data + metadata)",
               static_cast<unsigned long long>(nvm.capacity()),
               static_cast<unsigned long long>(map_.deviceBytes()));
+    if (!config_.tenantKeySeeds.empty()) {
+        const std::uint64_t n = config_.tenantKeySeeds.size();
+        if (config_.dataBytes % (n * kPageSize) != 0)
+            fatal("tenant key domains need page-aligned equal slices: "
+                  "%llu data bytes / %llu tenants",
+                  static_cast<unsigned long long>(config_.dataBytes),
+                  static_cast<unsigned long long>(n));
+        tenantSliceBytes_ = config_.dataBytes / n;
+        tenantCrypto_.reserve(n);
+        for (std::uint64_t seed : config_.tenantKeySeeds)
+            tenantCrypto_.push_back(
+                crypto::CryptoSuite::make(config_.plane, seed));
+    }
     tree_ = std::make_unique<bmt::TreeState>(map_, *crypto_.hash);
     dataReads_ = &stats_.counter("data_reads");
     dataWrites_ = &stats_.counter("data_writes");
@@ -414,6 +427,17 @@ MemoryEngine::flagViolation(const char *what, Addr addr)
          static_cast<unsigned long long>(addr));
 }
 
+const crypto::CryptoSuite &
+MemoryEngine::dataSuite(Addr data_addr) const
+{
+    if (tenantCrypto_.empty())
+        return crypto_;
+    std::uint64_t idx = data_addr / tenantSliceBytes_;
+    if (idx >= tenantCrypto_.size())
+        idx = tenantCrypto_.size() - 1;
+    return tenantCrypto_[idx];
+}
+
 std::uint64_t
 MemoryEngine::dataMac(Addr addr, const std::uint8_t *cipher) const
 {
@@ -424,9 +448,10 @@ MemoryEngine::dataMac(Addr addr, const std::uint8_t *cipher) const
         static_cast<unsigned>(blockOf(block) % kBlocksPerPage);
     const std::uint64_t tweak =
         (block << 16) ^ (cb.major << 7) ^ cb.minors[slot];
+    const crypto::CryptoSuite &suite = dataSuite(block);
     if (cipher == nullptr)
-        return crypto_.hash->mac64("", 0, tweak);
-    return crypto_.hash->mac64(cipher, kBlockSize, tweak);
+        return suite.hash->mac64("", 0, tweak);
+    return suite.hash->mac64(cipher, kBlockSize, tweak);
 }
 
 void
@@ -486,7 +511,9 @@ MemoryEngine::reencryptPage(std::uint64_t counterIdx)
         crypto::PadRequest preqs[kBlocksPerPage];
         for (std::size_t k = 0; k < m; ++k)
             preqs[k] = {addrs[k], cb.major, cb.minors[slots[k]]};
-        crypto_.enc->padxN(preqs, m, ciphers);
+        // The page lives in one tenant slice (slices are page-
+        // aligned), so the whole burst uses one data suite.
+        dataSuite(page_base).enc->padxN(preqs, m, ciphers);
         for (std::size_t k = 0; k < m; ++k) {
             std::uint8_t *c = ciphers + k * kBlockSize;
             const mem::Block &plain = *plains[k];
@@ -509,7 +536,7 @@ MemoryEngine::reencryptPage(std::uint64_t counterIdx)
         else
             mreqs[k] = {"", 0, tweak};
     }
-    crypto_.hash->mac64xN(mreqs, m, macs);
+    dataSuite(page_base).hash->mac64xN(mreqs, m, macs);
     trace_.instant(obs::EventClass::CryptoBatch, m);
     for (std::size_t k = 0; k < m; ++k) {
         const Addr haddr = map_.hmacAddrOf(addrs[k]);
@@ -601,8 +628,9 @@ MemoryEngine::read(Addr addr, std::uint8_t *out)
             if (untouched) {
                 std::memset(out, 0, kBlockSize);
             } else {
-                crypto_.enc->xorPad(block, cb.major, cb.minors[slot],
-                                    cipher.data(), out);
+                dataSuite(block).enc->xorPad(block, cb.major,
+                                             cb.minors[slot],
+                                             cipher.data(), out);
             }
         }
     }
@@ -655,8 +683,8 @@ MemoryEngine::writeCommon(Addr addr, const std::uint8_t *data,
         mem::Block &plain = plaintext_[blockOf(block)];
         std::memcpy(plain.data(), data, kBlockSize);
         mem::Block cipher;
-        crypto_.enc->xorPad(block, cb.major, cb.minors[slot], data,
-                            cipher.data());
+        dataSuite(block).enc->xorPad(block, cb.major, cb.minors[slot],
+                                     data, cipher.data());
         nvm_->writeBlock(block, cipher);
     } else {
         nvm_->touchWrite(block);

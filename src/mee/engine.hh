@@ -98,6 +98,21 @@ struct MeeConfig
     bool trackContents = false; ///< keep real data bytes (functional)
     std::uint64_t keySeed = 1;
 
+    /**
+     * Multi-tenant data-key domains. When non-empty, the protected
+     * data range is split into equal slices, one per entry, and slice
+     * i's data encryption pads and per-block data MACs are derived
+     * from tenantKeySeeds[i] instead of keySeed — so one tenant's key
+     * never decrypts or authenticates another tenant's lines. The
+     * shared metadata machinery (counters, integrity tree, persisted
+     * metadata MACs) stays under the platform keySeed: the tree is a
+     * platform structure, confidentiality and data authentication are
+     * per-tenant. dataBytes must divide evenly into page-aligned
+     * slices. Empty (the default) is the single-domain engine,
+     * bit-identical to pre-tenant behaviour.
+     */
+    std::vector<std::uint64_t> tenantKeySeeds;
+
     // Protocol-specific knobs.
     unsigned osirisStopLoss = 4;    ///< persist counters every N updates
     unsigned amntSubtreeLevel = 3;  ///< paper default (64 regions)
@@ -362,10 +377,23 @@ class MemoryEngine
     double recoveryMs(std::uint64_t blocks_read,
                       std::uint64_t blocks_written) const;
 
+    /**
+     * Crypto suite for data blocks at @p data_addr: the tenant
+     * domain's suite under multi-tenant keying, the platform suite
+     * otherwise. Metadata always uses crypto_.
+     */
+    const crypto::CryptoSuite &dataSuite(Addr data_addr) const;
+
     MeeConfig config_;
     mem::MemoryMap map_;
     mem::NvmDevice *nvm_;
     crypto::CryptoSuite crypto_;
+
+    /** Per-tenant data-key suites (MeeConfig::tenantKeySeeds). */
+    std::vector<crypto::CryptoSuite> tenantCrypto_;
+
+    /** Bytes per tenant slice; 0 when single-domain. */
+    std::uint64_t tenantSliceBytes_ = 0;
     std::unique_ptr<bmt::TreeState> tree_;
     cache::Cache mcache_;
     StatGroup stats_;

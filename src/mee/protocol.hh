@@ -145,6 +145,15 @@ class ProtocolStrategy
     const StatGroup &stats() const { return eng_->stats_; }
     obs::Tracer &trace() { return eng_->trace_; }
     crypto::CryptoSuite &crypto() { return eng_->crypto_; }
+    /** Suite the engine MACs/encrypts @p data_addr with — the tenant
+     *  suite under MeeConfig::tenantKeySeeds, crypto() otherwise.
+     *  Recovery procedures that trial-MAC persisted data must use
+     *  this, or tenant-keyed blocks would never verify. */
+    const crypto::CryptoSuite &
+    dataSuite(Addr data_addr) const
+    {
+        return eng_->dataSuite(data_addr);
+    }
     std::vector<bmt::NodeRef> &pathScratch()
     {
         return eng_->pathScratch_;

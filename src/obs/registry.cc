@@ -18,21 +18,23 @@ formatDouble(double v)
     return buf;
 }
 
+} // namespace
+
 std::string
-histogramJson(const Histogram &h)
+summaryJson(const HistogramSummary &s)
 {
-    std::string out = "{\"count\": " + std::to_string(h.count());
-    out += ", \"mean\": " + formatDouble(h.mean());
-    out += ", \"p50\": " + formatDouble(h.percentile(50.0));
-    out += ", \"p95\": " + formatDouble(h.percentile(95.0));
-    out += ", \"p99\": " + formatDouble(h.percentile(99.0));
-    out += ", \"underflow\": " + std::to_string(h.underflow());
-    out += ", \"overflow\": " + std::to_string(h.overflow());
+    // Key set is part of the dump format (diffed by the record/replay
+    // CI leg): count, mean, p50, p95, p99, underflow, overflow.
+    std::string out = "{\"count\": " + std::to_string(s.count);
+    out += ", \"mean\": " + formatDouble(s.mean);
+    out += ", \"p50\": " + formatDouble(s.p50);
+    out += ", \"p95\": " + formatDouble(s.p95);
+    out += ", \"p99\": " + formatDouble(s.p99);
+    out += ", \"underflow\": " + std::to_string(s.underflow);
+    out += ", \"overflow\": " + std::to_string(s.overflow);
     out += "}";
     return out;
 }
-
-} // namespace
 
 void
 StatRegistry::claim(const std::string &path, const char *kind)
@@ -92,7 +94,7 @@ StatRegistry::dumpJson() const
             emit(path + "." + name, std::to_string(value));
     }
     for (const auto &[path, hist] : hists_)
-        emit(path, histogramJson(*hist));
+        emit(path, summaryJson(hist->snapshot()));
     for (const auto &[path, probe] : scalars_)
         emit(path, std::to_string(probe()));
 

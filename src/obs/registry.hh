@@ -31,6 +31,14 @@ namespace amnt::obs
 {
 
 /**
+ * Canonical JSON object for one histogram summary — the format
+ * registry dumps embed per histogram and the campaign artifacts
+ * reuse: {"count": N, "mean": x, "p50": x, "p95": x, "p99": x,
+ * "underflow": N, "overflow": N}, doubles as %.9g.
+ */
+std::string summaryJson(const HistogramSummary &s);
+
+/**
  * Non-owning federation of stats under dotted paths. Components
  * register once at construction; snapshots read the live objects.
  */

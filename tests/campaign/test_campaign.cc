@@ -1,0 +1,267 @@
+/**
+ * Campaign framework tests: enrollment, determinism, and the
+ * adversarial / online-recovery oracles.
+ *
+ * Enrollment is a pin, not a convention: every campaign must carry
+ * one row per registry protocol, in registry order. A protocol that
+ * silently drops out of a campaign (an exemption someone "temporarily"
+ * adds) is a test failure here, by construction.
+ *
+ * Campaign reports are shared across the oracle tests through a
+ * per-campaign cache — each campaign runs once per test binary at the
+ * small test geometry, and every parameterized assertion reads the
+ * same report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "core/protocol_registry.hh"
+#include "mee/protocol.hh"
+
+namespace amnt
+{
+namespace
+{
+
+campaign::CampaignConfig
+testConfig()
+{
+    campaign::CampaignConfig cfg;
+    cfg.ops = 400;
+    cfg.crashAfter = 11;
+    return cfg;
+}
+
+const campaign::CampaignReport &
+cached(const std::string &name)
+{
+    static std::map<std::string, campaign::CampaignReport> reports;
+    auto it = reports.find(name);
+    if (it == reports.end())
+        it = reports.emplace(name, campaign::runCampaign(name, testConfig()))
+                 .first;
+    return it->second;
+}
+
+// ----------------------------------------------------------- enrollment
+
+class CampaignEnrollment
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CampaignEnrollment, OneRowPerRegistryProtocolInOrder)
+{
+    const campaign::CampaignReport &report = cached(GetParam());
+    const std::vector<mee::Protocol> all = core::allProtocols();
+    ASSERT_EQ(all.size(), mee::kProtocolCount);
+    ASSERT_EQ(report.rows.size(), all.size())
+        << "campaign '" << GetParam()
+        << "' skipped a registry protocol";
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(report.rows[i].protocol, all[i])
+            << "row " << i << " out of registry order";
+}
+
+TEST_P(CampaignEnrollment, EveryRowCarriesMetrics)
+{
+    for (const campaign::ProtocolRow &row : cached(GetParam()).rows)
+        EXPECT_FALSE(row.metrics.empty())
+            << mee::protocolName(row.protocol) << " row is empty";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCampaigns, CampaignEnrollment,
+    ::testing::ValuesIn(campaign::campaignNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(CampaignRegistry, NamesAreStableAndDispatchable)
+{
+    const std::vector<std::string> &names = campaign::campaignNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "adversarial");
+    EXPECT_EQ(names[1], "multi_tenant");
+    EXPECT_EQ(names[2], "online_recovery");
+}
+
+// ---------------------------------------------------------- determinism
+
+class CampaignDeterminism
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CampaignDeterminism, ByteIdenticalAtAnyThreadCount)
+{
+    campaign::CampaignConfig cfg = testConfig();
+    cfg.ops = 200;
+    cfg.threads = 1;
+    const std::string serial =
+        campaign::runCampaign(GetParam(), cfg).toJson();
+    cfg.threads = 4;
+    const std::string parallel =
+        campaign::runCampaign(GetParam(), cfg).toJson();
+    EXPECT_EQ(serial, parallel)
+        << "campaign '" << GetParam()
+        << "' leaks thread-count into the artifact";
+}
+
+TEST_P(CampaignDeterminism, SeedChangesTheReport)
+{
+    campaign::CampaignConfig cfg = testConfig();
+    cfg.ops = 200;
+    const std::string a = campaign::runCampaign(GetParam(), cfg).toJson();
+    cfg.seed += 1;
+    const std::string b = campaign::runCampaign(GetParam(), cfg).toJson();
+    EXPECT_NE(a, b) << "seed does not reach campaign '" << GetParam()
+                    << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCampaigns, CampaignDeterminism,
+    ::testing::ValuesIn(campaign::campaignNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+// ------------------------------------------------- adversarial oracle
+
+class AdversarialAllProtocols
+    : public ::testing::TestWithParam<mee::Protocol>
+{};
+
+TEST_P(AdversarialAllProtocols, LiveTamperAlwaysDetected)
+{
+    const campaign::ProtocolRow &row =
+        cached("adversarial").row(GetParam());
+    EXPECT_GT(row.num("live_tamper_attempts"), 0.0);
+    EXPECT_EQ(row.num("live_tamper_detected"),
+              row.num("live_tamper_attempts"))
+        << "a live data tamper went unnoticed";
+    EXPECT_EQ(row.num("meta_tamper_detected"), 1.0)
+        << "a persisted counter-block tamper went unnoticed";
+}
+
+TEST_P(AdversarialAllProtocols, OverflowForcesReencryption)
+{
+    const campaign::ProtocolRow &row =
+        cached("adversarial").row(GetParam());
+    EXPECT_GE(row.num("overflow_reencrypts"), 1.0)
+        << "minor-counter hammering never wrapped";
+}
+
+TEST_P(AdversarialAllProtocols, CrashOutcomeMatchesCrashProfile)
+{
+    const campaign::ProtocolRow &row =
+        cached("adversarial").row(GetParam());
+    EXPECT_EQ(row.num("crash_fired"), 1.0);
+    EXPECT_EQ(row.num("crash_recovered"),
+              row.num("crash_expected_recover"))
+        << "recovery outcome contradicts CrashProfile::persistent";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AdversarialAllProtocols,
+    ::testing::ValuesIn(core::allProtocols()),
+    [](const ::testing::TestParamInfo<mee::Protocol> &info) {
+        return std::string(mee::protocolName(info.param));
+    });
+
+class AdversarialAtRest : public ::testing::TestWithParam<mee::Protocol>
+{};
+
+TEST_P(AdversarialAtRest, PoweredOffTamperDetectedOnRecovery)
+{
+    const campaign::ProtocolRow &row =
+        cached("adversarial").row(GetParam());
+    EXPECT_EQ(row.num("at_rest_detect_expected"), 1.0);
+    EXPECT_EQ(row.num("at_rest_tamper_detected"), 1.0)
+        << "tamper-at-rest slipped past recovery";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TamperAtRest, AdversarialAtRest,
+    ::testing::ValuesIn(core::tamperAtRestProtocols()),
+    [](const ::testing::TestParamInfo<mee::Protocol> &info) {
+        return std::string(mee::protocolName(info.param));
+    });
+
+// --------------------------------------------- online-recovery oracle
+
+class RecoveryPersistent : public ::testing::TestWithParam<mee::Protocol>
+{};
+
+TEST_P(RecoveryPersistent, RecoversAndReportsDegradedPercentiles)
+{
+    const campaign::ProtocolRow &row =
+        cached("online_recovery").row(GetParam());
+    EXPECT_EQ(row.num("crash_fired"), 1.0);
+    EXPECT_EQ(row.num("recovered"), 1.0)
+        << "persistent protocol failed online recovery";
+    EXPECT_EQ(row.num("cold_restart"), 0.0);
+    EXPECT_GT(row.num("degraded_p50"), 0.0);
+    EXPECT_GT(row.num("degraded_p99"), 0.0);
+    EXPECT_GE(row.num("degraded_p99"), row.num("degraded_p50"));
+    EXPECT_GT(row.num("post_p50"), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Persistent, RecoveryPersistent,
+    ::testing::ValuesIn(core::persistentProtocols()),
+    [](const ::testing::TestParamInfo<mee::Protocol> &info) {
+        return std::string(mee::protocolName(info.param));
+    });
+
+TEST(RecoveryVolatile, ColdRestartsInsteadOfRecovering)
+{
+    const campaign::ProtocolRow &row =
+        cached("online_recovery").row(mee::Protocol::Volatile);
+    EXPECT_EQ(row.num("recovered"), 0.0);
+    EXPECT_EQ(row.num("recover_expected"), 0.0);
+    EXPECT_EQ(row.num("cold_restart"), 1.0);
+    EXPECT_EQ(row.num("recovery_backlog_cycles"), 0.0);
+}
+
+// --------------------------------------------------------- row plumbing
+
+TEST(ProtocolRow, FindAndNumRoundTrip)
+{
+    campaign::ProtocolRow row;
+    row.protocol = mee::Protocol::Amnt;
+    row.u64("a", 7);
+    row.f64("b", 2.5);
+    row.boolean("c", true);
+    row.str("d", "zipfian");
+    EXPECT_EQ(row.num("a"), 7.0);
+    EXPECT_EQ(row.num("b"), 2.5);
+    EXPECT_EQ(row.num("c"), 1.0);
+    ASSERT_NE(row.find("d"), nullptr);
+    EXPECT_EQ(*row.find("d"), "\"zipfian\"");
+    EXPECT_EQ(row.find("missing"), nullptr);
+}
+
+TEST(CampaignConfigEnv, OnlyRestrictsRowsNotValues)
+{
+    // A row must not depend on which other protocols ran alongside it
+    // (per-protocol seed salting): the single-protocol report equals
+    // the corresponding row of the full report.
+    campaign::CampaignConfig cfg = testConfig();
+    cfg.ops = 200;
+    cfg.only = mee::Protocol::Amnt;
+    const campaign::CampaignReport solo =
+        campaign::runCampaign("adversarial", cfg);
+    ASSERT_EQ(solo.rows.size(), 1u);
+    campaign::CampaignConfig full_cfg = testConfig();
+    full_cfg.ops = 200;
+    const campaign::CampaignReport full =
+        campaign::runCampaign("adversarial", full_cfg);
+    EXPECT_EQ(solo.rows[0].metrics,
+              full.row(mee::Protocol::Amnt).metrics);
+}
+
+} // namespace
+} // namespace amnt

@@ -1,0 +1,72 @@
+/**
+ * Campaign artifact pins.
+ *
+ * Each campaign at the pinned geometry (campaign::pinnedConfig(),
+ * exactly what a bare `amnt_campaign` run uses) must serialize
+ * byte-for-byte to the checked-in results/campaign_<name>.json.
+ * Together with the determinism tests this pins the full chain:
+ * config -> simulation -> canonical JSON -> artifact file, across
+ * any thread count and environment.
+ *
+ * Regenerate after an intentional model change with:
+ *   AMNT_GOLDEN_REGEN=1 ./build/tests/test_campaign \
+ *       --gtest_filter='CampaignPins.*'
+ * (or simply `./build/tools/amnt_campaign` — same bytes.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hh"
+
+namespace amnt
+{
+namespace
+{
+
+std::string
+artifactPath(const std::string &name)
+{
+    return std::string(AMNT_SOURCE_ROOT) + "/results/campaign_" +
+           name + ".json";
+}
+
+class CampaignPins : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CampaignPins, ArtifactMatchesPinnedGeometry)
+{
+    const std::string name = GetParam();
+    const std::string text =
+        campaign::runCampaign(name, campaign::pinnedConfig()).toJson();
+    const std::string path = artifactPath(name);
+    if (std::getenv("AMNT_GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << text;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << path << " missing; regenerate with AMNT_GOLDEN_REGEN=1 "
+        << "or ./build/tools/amnt_campaign";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), text)
+        << "campaign numbers drifted from " << path
+        << " (intentional model changes must regenerate the artifact)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCampaigns, CampaignPins,
+    ::testing::ValuesIn(campaign::campaignNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace amnt

@@ -284,6 +284,45 @@ TEST(FaultDomain, CommitOpenFiresBeforeScopeDepthIsTaken)
     EXPECT_EQ(d.commitsClosed(), 1u);
 }
 
+TEST(FaultDomain, ArmAfterKeepsNumberingAndFiresRelative)
+{
+    // armAfter() arms relative to the CURRENT boundary id without
+    // resetting the count — the campaign suites use it to crash "N
+    // boundaries from now" mid-workload, and the fired point stays
+    // meaningful for AMNT_FAULT_POINT reproduction.
+    fault::FaultDomain d;
+    d.startCounting();
+    d.persistPoint(); // 0
+    d.persistPoint(); // 1
+    d.persistPoint(); // 2
+    d.armAfter(2);    // fire at boundary 3 + 2 = 5
+    d.persistPoint(); // 3
+    d.persistPoint(); // 4
+    bool threw = false;
+    try {
+        d.persistPoint(); // 5: fires
+    } catch (const fault::CrashInjected &c) {
+        threw = true;
+        EXPECT_EQ(c.point(), 5u);
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_EQ(d.mode(), fault::FaultDomain::Mode::Disarmed);
+}
+
+TEST(FaultDomain, ArmAfterZeroFiresAtNextBoundary)
+{
+    fault::FaultDomain d; // fresh (Disarmed): ids start at 0
+    d.armAfter(0);
+    bool threw = false;
+    try {
+        d.persistPoint();
+    } catch (const fault::CrashInjected &c) {
+        threw = true;
+        EXPECT_EQ(c.point(), 0u);
+    }
+    EXPECT_TRUE(threw);
+}
+
 TEST(FaultDomain, DisarmedDomainIsInert)
 {
     fault::FaultDomain d;

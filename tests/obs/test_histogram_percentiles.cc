@@ -151,6 +151,57 @@ TEST(HistogramPercentiles, OutOfRangeStaysOutOfBins)
     EXPECT_EQ(h.percentile(100.0), 10.0);
 }
 
+TEST(HistogramSummarySnapshot, MatchesDirectQueries)
+{
+    Histogram h(1.0, 1e5, 32, Histogram::Scale::Log);
+    Rng rng(0xf00d);
+    for (int i = 0; i < 5000; ++i)
+        h.add(std::exp(rng.uniform() * 13.0 - 1.0));
+    const HistogramSummary s = h.snapshot();
+    EXPECT_EQ(s.count, h.count());
+    EXPECT_EQ(s.mean, h.mean());
+    EXPECT_EQ(s.p50, h.percentile(50.0));
+    EXPECT_EQ(s.p90, h.percentile(90.0));
+    EXPECT_EQ(s.p95, h.percentile(95.0));
+    EXPECT_EQ(s.p99, h.percentile(99.0));
+    EXPECT_EQ(s.underflow, h.underflow());
+    EXPECT_EQ(s.overflow, h.overflow());
+    // snapshot() is read-only: the histogram is untouched.
+    EXPECT_EQ(h.count(), 5000u);
+}
+
+TEST(HistogramSummarySnapshot, SnapshotAndResetIsolatesPhases)
+{
+    // The campaign-phase regression: percentiles of a reused histogram
+    // must come only from samples added since the last snapshot, or
+    // phase-2 tails are polluted by phase-1 mass.
+    Histogram h(1.0, 1e4, 24, Histogram::Scale::Log);
+    for (int i = 0; i < 1000; ++i)
+        h.add(10.0); // phase 1: tight cluster at 10
+    h.add(-1.0);
+    h.add(1e9);
+    const HistogramSummary one = h.snapshotAndReset();
+    EXPECT_EQ(one.count, 1002u);
+    EXPECT_EQ(one.p50, h.quantize(10.0));
+    EXPECT_EQ(one.underflow, 1u);
+    EXPECT_EQ(one.overflow, 1u);
+
+    // The reset half: geometry kept, all counts forgotten.
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+
+    for (int i = 0; i < 100; ++i)
+        h.add(5000.0); // phase 2: far from phase 1's cluster
+    const HistogramSummary two = h.snapshotAndReset();
+    EXPECT_EQ(two.count, 100u);
+    EXPECT_EQ(two.p50, h.quantize(5000.0));
+    EXPECT_EQ(two.p99, h.quantize(5000.0))
+        << "phase-1 samples leaked into phase-2 percentiles";
+    EXPECT_EQ(two.underflow, 0u);
+    EXPECT_EQ(two.overflow, 0u);
+}
+
 TEST(HistogramPercentiles, ResetForgetsSamplesKeepsGeometry)
 {
     Histogram h(1.0, 1e3, 12, Histogram::Scale::Log);
