@@ -14,7 +14,11 @@
  * in results/BENCH_replay.json (tools/check_replay_bench.py) and
  * fails on a >20% per-(protocol, preset) regression.
  *
- *   bench_replay [--json out.json] [--protocol=NAME]
+ *   bench_replay [--json out.json] [--protocol=NAME] [--shards=N,M]
+ *
+ * `--shards=` adds sharded-engine legs (shard/sharded_engine.hh) at
+ * the given drain-lane counts on top of the legacy run; their rows
+ * carry a "shards" field and the history check keys them separately.
  *
  * AMNT_BENCH_INSTR / AMNT_BENCH_WARMUP / AMNT_BENCH_SCALE shape the
  * run exactly like the figure harnesses; AMNT_BENCH_REPS (default 3)
@@ -59,13 +63,19 @@ record(const std::string &preset, const std::string &path,
     sys.run(instr, warmup);
 }
 
-/** One timed replay; returns simulated data accesses per second. */
+/**
+ * One timed replay; returns simulated data accesses per second.
+ * @p shards 0 runs the legacy single-engine path; N >= 1 runs the
+ * sharded model on N drain lanes (simulated results identical across
+ * N — only this wall-clock rate moves).
+ */
 double
 replayRate(mee::Protocol p, const std::string &preset,
            const std::string &path, std::uint64_t instr,
-           std::uint64_t warmup)
+           std::uint64_t warmup, unsigned shards = 0)
 {
     sim::SystemConfig cfg = sim::SystemConfig::singleProgram(p);
+    cfg.shards = shards;
     sim::WorkloadConfig w = bench::scaled(sim::namedWorkload(preset));
     w.name = "trace:" + path;
     w.traceFile = path;
@@ -96,25 +106,44 @@ main(int argc, char **argv)
         only ? std::vector<mee::Protocol>{*only}
              : core::allProtocols();
 
+    // `--shards=N[,M...]`: bench the sharded engine at those lane
+    // counts after the legacy run. Rows carry a "shards" field so the
+    // history check keys (protocol, preset, shards) independently.
+    const std::vector<unsigned> shard_list =
+        bench::shardsOverride(argc, argv);
+
     bench::JsonSink sink(argc, argv, "bench_replay");
     TextTable table;
-    table.header({"protocol", "preset", "Maccess/s"});
+    table.header({"protocol", "preset", "shards", "Maccess/s"});
+
+    std::vector<unsigned> variants = {0};
+    variants.insert(variants.end(), shard_list.begin(),
+                    shard_list.end());
 
     for (const char *preset : kPresets) {
         const std::string path = tracePath(preset);
         record(preset, path, instr, warmup);
-        for (mee::Protocol p : protocols) {
-            double best = 0.0;
-            for (std::uint64_t rep = 0; rep < reps; ++rep)
-                best = std::max(
-                    best, replayRate(p, preset, path, instr, warmup));
-            table.row({mee::protocolName(p), preset,
-                       TextTable::num(best / 1e6, 3)});
-            bench::JsonRow row;
-            row.field("protocol", std::string(mee::protocolName(p)));
-            row.field("preset", std::string(preset));
-            row.field("accesses_per_sec", best);
-            sink.add(row);
+        for (unsigned shards : variants) {
+            for (mee::Protocol p : protocols) {
+                double best = 0.0;
+                for (std::uint64_t rep = 0; rep < reps; ++rep)
+                    best = std::max(
+                        best, replayRate(p, preset, path, instr,
+                                         warmup, shards));
+                table.row({mee::protocolName(p), preset,
+                           shards == 0 ? "-"
+                                       : std::to_string(shards),
+                           TextTable::num(best / 1e6, 3)});
+                bench::JsonRow row;
+                row.field("protocol",
+                          std::string(mee::protocolName(p)));
+                row.field("preset", std::string(preset));
+                if (shards > 0)
+                    row.field("shards",
+                              static_cast<std::uint64_t>(shards));
+                row.field("accesses_per_sec", best);
+                sink.add(row);
+            }
         }
         std::remove(path.c_str());
     }

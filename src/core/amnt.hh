@@ -119,10 +119,41 @@ class AmntStrategy : public mee::ProtocolStrategy
     /** History buffer (testing). */
     const HistoryBuffer &history() const { return history_; }
 
+    std::unique_ptr<mee::ProtocolShadow>
+    cloneShadow() const override
+    {
+        auto snap = std::make_unique<Snapshot>();
+        snap->region = region_;
+        snap->bootstrapped = bootstrapped_;
+        snap->subtreeRegister = subtreeRegister_;
+        return snap;
+    }
+
+    void
+    restoreShadow(const mee::ProtocolShadow &snap) override
+    {
+        const auto &s = static_cast<const Snapshot &>(snap);
+        region_ = s.region;
+        bootstrapped_ = s.bootstrapped;
+        subtreeRegister_ = s.subtreeRegister;
+    }
+
   protected:
     void onAttach() override;
 
   private:
+    /**
+     * Epoch-commit snapshot of the NV registers: the fast-subtree
+     * target and its 64 B root register. The history buffer and
+     * interval counter are volatile and die at any crash.
+     */
+    struct Snapshot : mee::ProtocolShadow
+    {
+        std::uint64_t region = 0;
+        bool bootstrapped = false;
+        mem::Block subtreeRegister{};
+    };
+
     /** Leaf-persistence fast path for in-subtree writes. */
     Cycle persistInside(const mee::WriteContext &ctx);
 

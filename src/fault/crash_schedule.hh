@@ -83,6 +83,14 @@ struct BoundaryOutcome
     bool countersMatch = false;  ///< differential vs Volatile replay
     bool tamperDetected = false; ///< post-recovery tamper caught
     bool liveness = false;       ///< post-recovery write/read works
+
+    /**
+     * Slices rolled back to the committed epoch during recovery
+     * (sharded schedules only; 0 on the per-engine matrix). Lets
+     * coverage tests assert the boundary stream really contains
+     * torn-epoch cases instead of only clean-commit crashes.
+     */
+    std::uint64_t tornSlices = 0;
     std::string detail;
 
     bool

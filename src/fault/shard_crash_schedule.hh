@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Torn-epoch crash-point scheduling for the sharded engine.
+ *
+ * The per-engine crash matrix (fault/crash_schedule.hh) proves every
+ * protocol recovers from a crash at any persist-op boundary of ONE
+ * engine. The sharded engine adds boundaries of its own: the fence
+ * after each slice's epoch drain and the cross-shard commit record's
+ * persist. A crash between a slice's drain and the record leaves the
+ * epoch TORN — some slices durably hold epoch N+1 state while the
+ * record still names epoch N — and recovery must roll every slice
+ * back to the last fully-committed epoch.
+ *
+ * This schedule reuses the per-engine matrix's machinery (seeded
+ * workload, count pass, deterministic subset, BoundaryOutcome /
+ * ScheduleReport) but drives a ShardedEngine with a small epoch so
+ * the exhaustive sweep crosses many epoch closes. The oracle is the
+ * same five stages, lifted to epoch granularity:
+ *
+ *  - recovery must succeed on every slice;
+ *  - a write is committed iff its epoch's commit record persisted
+ *    (epoch <= committedEpoch() after recovery); every committed
+ *    block must decrypt bit-exactly with zero violations — and any
+ *    torn slice must have rolled back cleanly for that to hold;
+ *  - each slice's recovered counters must agree with a Volatile
+ *    reference engine replaying that slice's committed writes;
+ *  - a post-recovery tamper through a slice's device must still be
+ *    detected;
+ *  - the recovered sharded engine must accept new writes (liveness).
+ *
+ * Boundary IDs are deterministic because an attached fault domain
+ * forces serial slice-order drains (lanes are irrelevant under
+ * injection). AMNT_FAULT_STRIDE / AMNT_FAULT_SEED / AMNT_FAULT_POINT
+ * apply exactly as in the per-engine matrix.
+ */
+
+#ifndef AMNT_FAULT_SHARD_CRASH_SCHEDULE_HH
+#define AMNT_FAULT_SHARD_CRASH_SCHEDULE_HH
+
+#include "fault/crash_schedule.hh"
+
+namespace amnt::fault
+{
+
+/** One torn-epoch schedule: a per-engine config plus shard knobs. */
+struct ShardScheduleConfig
+{
+    /**
+     * Protocol, TOTAL geometry, workload and sampling. The hybrid
+     * flag is ignored (the sharded engine is flat SCM).
+     */
+    ScheduleConfig base;
+
+    /** Logical slice count (each slice gets dataBytes / slices). */
+    unsigned slices = 2;
+
+    /**
+     * Buffered writes per epoch. Small on purpose: the boundary
+     * stream must cross many epoch closes (drain fences + commit
+     * records), not just engine persist ops.
+     */
+    std::uint64_t epochWrites = 8;
+};
+
+/** Count boundaries, inject each selected one, run the oracle. */
+ScheduleReport runShardCrashSchedule(const ShardScheduleConfig &cfg);
+
+/** Run the oracle for exactly one torn-epoch boundary. */
+BoundaryOutcome runShardBoundary(const ShardScheduleConfig &cfg,
+                                 std::uint64_t point);
+
+} // namespace amnt::fault
+
+#endif // AMNT_FAULT_SHARD_CRASH_SCHEDULE_HH

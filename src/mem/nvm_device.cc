@@ -1,5 +1,7 @@
 #include "mem/nvm_device.hh"
 
+#include <algorithm>
+
 #include "common/bitops.hh"
 #include "common/log.hh"
 #include "obs/registry.hh"
@@ -46,6 +48,26 @@ void
 NvmDevice::crash()
 {
     // Contents persist across a crash; nothing to discard here.
+}
+
+std::vector<Addr>
+NvmDevice::journalRollback()
+{
+    std::vector<Addr> affected;
+    affected.reserve(journalEntries_.size());
+    for (const auto &kv : journalEntries_) {
+        const BlockId blk = kv.first;
+        const JournalEntry &e = kv.second;
+        if (e.wasPresent)
+            store_.try_emplace(blk).first->second = e.preimage;
+        else
+            store_.erase(blk);
+        affected.push_back(blockAddr(blk));
+    }
+    journalEntries_.clear();
+    ++journalRollbacks_;
+    std::sort(affected.begin(), affected.end());
+    return affected;
 }
 
 void

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/bitops.hh"
 #include "common/flat_map.hh"
@@ -90,6 +91,8 @@ class NvmDevice
         if (fault_ != nullptr)
             fault_->persistPoint();
         ++writes_;
+        if (journal_)
+            journalCapture(blockOf(addr));
         // try_emplace + assign: fresh blocks are value-initialized
         // then overwritten, existing blocks take one probe total.
         store_.try_emplace(blockOf(addr)).first->second = data;
@@ -184,7 +187,68 @@ class NvmDevice
         Addr lo, Addr hi,
         const std::function<void(Addr, const Block &)> &visitor) const;
 
+    // ------------------------------------------------- epoch journal
+    //
+    // Pre-image journal for the sharded engine's torn-epoch rollback
+    // (shard/sharded_engine.hh): between journalClear() calls, the
+    // first content-carrying write to each block records the block's
+    // previous durable value (or its absence). journalRollback()
+    // restores exactly those pre-images. The journal append is
+    // modeled as atomic with the block write it shadows — both land
+    // in the same ADR persist burst — so it adds no crash-point
+    // boundaries of its own (DESIGN.md §15). Timing-plane touchWrite
+    // traffic carries no contents and needs no pre-image.
+
+    /** Start capturing pre-images (idempotent; sharded engines only). */
+    void journalEnable() { journal_ = true; }
+
+    /** Whether pre-image capture is on. */
+    bool journalEnabled() const { return journal_; }
+
+    /** Commit: the open epoch's pre-images are no longer needed. */
+    void journalClear() { journalEntries_.clear(); }
+
+    /** True when content writes happened since the last clear. */
+    bool journalDirty() const { return !journalEntries_.empty(); }
+
+    /** Pre-images captured since construction (shard-layer stat). */
+    std::uint64_t journalCaptures() const { return journalCaptures_; }
+
+    /** Rollbacks performed since construction (shard-layer stat). */
+    std::uint64_t journalRollbacks() const { return journalRollbacks_; }
+
+    /**
+     * Undo every content write since the last journalClear():
+     * journaled blocks revert to their pre-image, blocks that had
+     * never been written are erased from the store (so recovery scans
+     * see no phantom all-zero blocks). Generates no device traffic
+     * and no persist points — it models what was simply never made
+     * durable. Returns the affected block addresses, sorted.
+     */
+    std::vector<Addr> journalRollback();
+
   private:
+    /** A block's durable state before the open epoch first wrote it. */
+    struct JournalEntry
+    {
+        bool wasPresent = false;
+        Block preimage{};
+    };
+
+    void
+    journalCapture(BlockId blk)
+    {
+        auto [it, fresh] = journalEntries_.try_emplace(blk);
+        if (!fresh)
+            return;
+        ++journalCaptures_;
+        auto s = store_.find(blk);
+        if (s != store_.end()) {
+            it->second.wasPresent = true;
+            it->second.preimage = s->second;
+        }
+    }
+
     void
     checkAddr(Addr addr) const
     {
@@ -200,6 +264,11 @@ class NvmDevice
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     fault::FaultDomain *fault_ = nullptr;
+
+    bool journal_ = false;
+    FlatMap<BlockId, JournalEntry> journalEntries_;
+    std::uint64_t journalCaptures_ = 0;
+    std::uint64_t journalRollbacks_ = 0;
 };
 
 } // namespace amnt::mem

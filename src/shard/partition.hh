@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Static partition of the protected physical address space into
+ * equal, page-aligned slices.
+ *
+ * The sharded engine (shard/sharded_engine.hh) models scale-out as a
+ * FIXED logical partition: the protected data range is always split
+ * into `slices` equal slices, each owned by one protocol engine with
+ * its own metadata cache, counter table, BMT subtree and NVM device.
+ * Host parallelism (the `--shards=N` drain lanes) never changes the
+ * partition — that is what makes results byte-identical at any shard
+ * count (DESIGN.md §15).
+ *
+ * The partition is total and disjoint by construction: every data
+ * address belongs to exactly one slice, and
+ * globalAddr(shardFor(a), localAddr(a)) == a for all a in range.
+ */
+
+#ifndef AMNT_SHARD_PARTITION_HH
+#define AMNT_SHARD_PARTITION_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace amnt::shard
+{
+
+/** Equal page-aligned split of [0, dataBytes) into `slices` slices. */
+struct Partition
+{
+    std::uint64_t dataBytes = 0;  ///< total protected data
+    std::uint64_t sliceBytes = 0; ///< bytes per slice
+    unsigned slices = 1;
+
+    Partition(std::uint64_t data_bytes, unsigned n)
+        : dataBytes(data_bytes), slices(n)
+    {
+        if (n == 0)
+            panic("partition needs at least one slice");
+        if (data_bytes == 0 || data_bytes % n != 0)
+            panic("partition: %llu bytes do not split into %u equal "
+                  "slices",
+                  static_cast<unsigned long long>(data_bytes), n);
+        sliceBytes = data_bytes / n;
+        if (sliceBytes % kPageSize != 0)
+            panic("partition: slice size %llu is not page aligned",
+                  static_cast<unsigned long long>(sliceBytes));
+    }
+
+    /** Slice owning @p addr; addr must lie in [0, dataBytes). */
+    unsigned
+    shardFor(Addr addr) const
+    {
+        if (addr >= dataBytes)
+            panic("partition: address %llx beyond data range %llx",
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(dataBytes));
+        return static_cast<unsigned>(addr / sliceBytes);
+    }
+
+    /** Slice-local offset of @p addr. */
+    Addr
+    localAddr(Addr addr) const
+    {
+        if (addr >= dataBytes)
+            panic("partition: address %llx beyond data range %llx",
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(dataBytes));
+        return addr % sliceBytes;
+    }
+
+    /** Inverse of (shardFor, localAddr). */
+    Addr
+    globalAddr(unsigned shard, Addr local) const
+    {
+        if (shard >= slices)
+            panic("partition: shard %u out of %u", shard, slices);
+        if (local >= sliceBytes)
+            panic("partition: local address %llx beyond slice size "
+                  "%llx",
+                  static_cast<unsigned long long>(local),
+                  static_cast<unsigned long long>(sliceBytes));
+        return static_cast<Addr>(shard) * sliceBytes + local;
+    }
+};
+
+} // namespace amnt::shard
+
+#endif // AMNT_SHARD_PARTITION_HH

@@ -18,6 +18,13 @@
  *
  * Thread count: AMNT_SWEEP_THREADS when set (strictly parsed),
  * otherwise one thread per hardware thread.
+ *
+ * Sharded systems need no special handling here: SystemConfig.shards
+ * rides inside each Job's config, and the determinism contract
+ * extends to the shard-lane count — a job's statsJson and RunResult
+ * are byte-identical whether its system drains one lane or many,
+ * at any sweep thread count (see shard/sharded_engine.hh and
+ * tests/shard/test_shard_invariance.cc).
  */
 
 #ifndef AMNT_SIM_SWEEP_HH

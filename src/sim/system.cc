@@ -80,15 +80,38 @@ System::System(const SystemConfig &config) : config_(config)
     if (config_.traceRecordPath.empty())
         config_.traceRecordPath = envRecordPath();
 
+    // AMNT_SHARDS selects the sharded scale-out model (lane count
+    // only; the slice partition is a separate, fixed parameter — see
+    // SystemConfig::shards).
+    if (config_.shards == 0) {
+        if (const char *s = std::getenv("AMNT_SHARDS");
+            s != nullptr && s[0] != '\0') {
+            config_.shards = static_cast<unsigned>(
+                std::strtoull(s, nullptr, 10));
+        }
+    }
+
     mee::MeeConfig mee_cfg = config.mee;
-    const mem::MemoryMap probe(mee_cfg.dataBytes);
-    nvm_ = std::make_unique<mem::NvmDevice>(probe.deviceBytes());
-    engine_ = core::makeEngine(config.protocol, mee_cfg, *nvm_);
+    if (config_.shards > 0) {
+        shard::ShardOptions so = config_.shardOptions;
+        so.lanes = config_.shards;
+        so.cores = config_.cores;
+        sharded_ = std::make_unique<shard::ShardedEngine>(
+            config.protocol, mee_cfg, so);
+    } else {
+        const mem::MemoryMap probe(mee_cfg.dataBytes);
+        nvm_ = std::make_unique<mem::NvmDevice>(probe.deviceBytes());
+        engine_ = core::makeEngine(config.protocol, mee_cfg, *nvm_);
+    }
 
     const std::uint64_t frames = mee_cfg.dataBytes / kPageSize;
+    // Sharded: AMNT regions live inside each slice's (smaller) tree,
+    // so the allocator's region granule comes from slice geometry.
+    const auto &geo = sharded_ != nullptr
+                          ? sharded_->shard(0).engine().map().geometry()
+                          : engine_->map().geometry();
     const std::uint64_t frames_per_region =
-        engine_->map().geometry().countersPerNode(
-            mee_cfg.amntSubtreeLevel);
+        geo.countersPerNode(mee_cfg.amntSubtreeLevel);
     if (config.amntpp) {
         allocator_ = std::make_unique<os::AmntPpAllocator>(
             frames, frames_per_region, 10, config.amntppCfg);
@@ -114,8 +137,12 @@ System::System(const SystemConfig &config) : config_(config)
 
     cores_.resize(config.cores);
 
-    engine_->registerStats(registry_, "mee");
-    nvm_->registerStats(registry_, "nvm");
+    if (sharded_ != nullptr) {
+        sharded_->registerStats(registry_);
+    } else {
+        engine_->registerStats(registry_, "mee");
+        nvm_->registerStats(registry_, "nvm");
+    }
     if (llc_)
         registry_.addGroup("cache." + llc_->name(), &llc_->stats());
 }
@@ -123,7 +150,37 @@ System::System(const SystemConfig &config) : config_(config)
 core::AmntStrategy *
 System::amnt()
 {
+    if (engine_ == nullptr)
+        return nullptr; // sharded: per-slice strategies, no single one
     return dynamic_cast<core::AmntStrategy *>(&engine_->strategy());
+}
+
+Cycle
+System::memRead(Addr a, unsigned core)
+{
+    if (sharded_ != nullptr)
+        return sharded_->read(a, nullptr, core);
+    return engine_->read(a);
+}
+
+Cycle
+System::memWrite(Addr a, unsigned core)
+{
+    if (sharded_ != nullptr)
+        return sharded_->write(a, nullptr, core);
+    return engine_->write(a);
+}
+
+void
+System::syncShards()
+{
+    if (sharded_ == nullptr)
+        return;
+    sharded_->flush();
+    std::vector<Cycle> lat(cores_.size(), 0);
+    sharded_->harvestLatencies(lat);
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        cores_[i].cycles += lat[i];
 }
 
 void
@@ -161,10 +218,11 @@ System::addProcess(const WorkloadConfig &workload)
         if (llc_)
             path.push_back(llc_.get());
 
+        const unsigned idx = static_cast<unsigned>(i);
         c.hierarchy = std::make_unique<cache::CacheHierarchy>(
             path,
-            [this](Addr a) { return engine_->read(a); },
-            [this](Addr a) { return engine_->write(a); });
+            [this, idx](Addr a) { return memRead(a, idx); },
+            [this, idx](Addr a) { return memWrite(a, idx); });
 
         const std::string core_path = "core" + std::to_string(i);
         c.hierarchy->registerStats(registry_, core_path);
@@ -200,7 +258,7 @@ System::chargeOs(Core &c)
 }
 
 void
-System::step(Core &c)
+System::step(Core &c, unsigned idx)
 {
     ++c.instructions;
     c.cycles += config_.baseCpi;
@@ -232,7 +290,7 @@ System::step(Core &c)
     if (ref.flush) {
         // Persistence-model flush: the dirty line is written through
         // to the secure memory controller on the critical path.
-        c.cycles += engine_->write(paddr);
+        c.cycles += memWrite(paddr, idx);
     }
     chargeOs(c);
 }
@@ -249,11 +307,22 @@ System::snapshot() const
         s.faults.push_back(c.pageTable->faults());
     }
     s.osInstructions = osInstructions_;
-    s.mcacheHits = engine_->metaCache().stats().get("hits");
-    s.mcacheMisses = engine_->metaCache().stats().get("misses");
-    s.subtreeHits = engine_->stats().get("subtree_hits");
-    s.subtreeMisses = engine_->stats().get("subtree_misses");
-    s.movements = engine_->stats().get("subtree_movements");
+    if (sharded_ != nullptr) {
+        for (unsigned i = 0; i < sharded_->sliceCount(); ++i) {
+            const auto &eng = sharded_->shard(i).engine();
+            s.mcacheHits += eng.metaCache().stats().get("hits");
+            s.mcacheMisses += eng.metaCache().stats().get("misses");
+            s.subtreeHits += eng.stats().get("subtree_hits");
+            s.subtreeMisses += eng.stats().get("subtree_misses");
+            s.movements += eng.stats().get("subtree_movements");
+        }
+    } else {
+        s.mcacheHits = engine_->metaCache().stats().get("hits");
+        s.mcacheMisses = engine_->metaCache().stats().get("misses");
+        s.subtreeHits = engine_->stats().get("subtree_hits");
+        s.subtreeMisses = engine_->stats().get("subtree_misses");
+        s.movements = engine_->stats().get("subtree_movements");
+    }
     return s;
 }
 
@@ -267,9 +336,9 @@ System::advance(std::uint64_t n, std::uint64_t &daemon_clock)
     std::uint64_t done = 0;
     while (done < n) {
         const std::uint64_t q = std::min(kQuantum, n - done);
-        for (auto &c : cores_) {
+        for (std::size_t ci = 0; ci < cores_.size(); ++ci) {
             for (std::uint64_t i = 0; i < q; ++i)
-                step(c);
+                step(cores_[ci], static_cast<unsigned>(ci));
         }
         done += q;
         daemon_clock += q;
@@ -295,8 +364,10 @@ System::run(std::uint64_t instructions_per_core,
     std::uint64_t daemon_clock = 0;
     if (warmup_per_core > 0)
         advance(warmup_per_core, daemon_clock);
+    syncShards();
     const Snapshot before = snapshot();
     advance(instructions_per_core, daemon_clock);
+    syncShards();
     const Snapshot after = snapshot();
 
     // Seal each recording with the run's silent tail so a looped

@@ -25,6 +25,7 @@
 #include "obs/registry.hh"
 #include "os/amntpp_allocator.hh"
 #include "os/page_table.hh"
+#include "shard/sharded_engine.hh"
 #include "sim/traceio/writer.hh"
 #include "sim/workload.hh"
 
@@ -41,6 +42,21 @@ struct SystemConfig
     /** Use the AMNT++ biased allocator + reclamation daemon. */
     bool amntpp = false;
     os::AmntPpConfig amntppCfg;
+
+    /**
+     * Sharded scale-out (shard/sharded_engine.hh): 0 keeps the
+     * single-engine legacy path (unless AMNT_SHARDS overrides it at
+     * construction); N >= 1 runs the sharded model with N host drain
+     * lanes. The logical slice partition is fixed by
+     * shardOptions.slices (default AMNT_SHARD_SLICES = 4)
+     * independent of N, so simulated results are byte-identical at
+     * any shard count — `--shards=1` is the sharded model on one
+     * lane, not the legacy engine.
+     */
+    unsigned shards = 0;
+
+    /** Slice/epoch knobs for the sharded engine (0 = env default). */
+    shard::ShardOptions shardOptions;
 
     /** Private cache levels per core (L1 first). */
     std::vector<cache::CacheConfig> privateLevels = {
@@ -126,8 +142,18 @@ class System
     RunResult run(std::uint64_t instructions_per_core,
                   std::uint64_t warmup_per_core = 0);
 
-    /** The secure-memory engine. */
-    mee::MemoryEngine &engine() { return *engine_; }
+    /** The secure-memory engine (legacy single-engine path only). */
+    mee::MemoryEngine &
+    engine()
+    {
+        if (engine_ == nullptr)
+            fatal("System::engine() on a sharded system; use "
+                  "sharded()");
+        return *engine_;
+    }
+
+    /** The sharded engine; nullptr on the legacy path. */
+    shard::ShardedEngine *sharded() { return sharded_.get(); }
 
     /** The physical allocator. */
     os::BuddyAllocator &allocator() { return *allocator_; }
@@ -170,8 +196,20 @@ class System
         std::uint64_t refGap = 0;
     };
 
-    /** Advance one instruction on core @p c. */
-    void step(Core &c);
+    /** Advance one instruction on core @p c (index @p idx). */
+    void step(Core &c, unsigned idx);
+
+    /** Route one memory read/write to the active engine. */
+    Cycle memRead(Addr a, unsigned core);
+    Cycle memWrite(Addr a, unsigned core);
+
+    /**
+     * Sharded path: drain + commit everything buffered and fold the
+     * accrued per-core drain latencies into the cores' cycle counts.
+     * Called at every measurement boundary so snapshots observe a
+     * fully-settled machine. No-op on the legacy path.
+     */
+    void syncShards();
 
     /** Attribute freshly accrued OS instructions to core @p c. */
     void chargeOs(Core &c);
@@ -201,6 +239,7 @@ class System
     obs::StatRegistry registry_;
     std::unique_ptr<mem::NvmDevice> nvm_;
     std::unique_ptr<mee::MemoryEngine> engine_;
+    std::unique_ptr<shard::ShardedEngine> sharded_;
     std::unique_ptr<os::BuddyAllocator> allocator_;
     std::unique_ptr<cache::Cache> llc_;
     std::vector<Core> cores_;

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Address-partition conformance: the fixed logical partition must be
+ * total and disjoint (every physical data address maps to exactly one
+ * slice), boundary addresses must round-trip through
+ * shardFor()/localAddr()/globalAddr(), and a partition that cannot
+ * split evenly (or page-aligned) must refuse to construct.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/types.hh"
+#include "shard/partition.hh"
+
+using namespace amnt;
+
+TEST(Partition, EveryBlockMapsToExactlyOneSlice)
+{
+    const shard::Partition part(4ull << 20, 4);
+    std::vector<std::uint64_t> per_slice(part.slices, 0);
+    for (Addr a = 0; a < part.dataBytes; a += kBlockSize) {
+        const unsigned s = part.shardFor(a);
+        ASSERT_LT(s, part.slices);
+        ++per_slice[s];
+        // Disjointness: the inverse mapping lands back on a, so no
+        // other (shard, local) pair can also own this address.
+        ASSERT_EQ(part.globalAddr(s, part.localAddr(a)), a);
+    }
+    // Totality: the per-slice counts exhaust the range evenly.
+    for (unsigned s = 0; s < part.slices; ++s)
+        EXPECT_EQ(per_slice[s], part.sliceBytes / kBlockSize);
+}
+
+TEST(Partition, BoundaryAddressesRoundTrip)
+{
+    const shard::Partition part(8ull << 20, 2);
+    const Addr boundaries[] = {
+        0,
+        kBlockSize,
+        part.sliceBytes - kBlockSize,
+        part.sliceBytes - 1,
+        part.sliceBytes,
+        part.sliceBytes + 1,
+        2 * part.sliceBytes - 1,
+        part.dataBytes - kBlockSize,
+        part.dataBytes - 1,
+    };
+    for (Addr a : boundaries) {
+        const unsigned s = part.shardFor(a);
+        const Addr local = part.localAddr(a);
+        EXPECT_EQ(s, a / part.sliceBytes) << "addr " << a;
+        EXPECT_EQ(local, a % part.sliceBytes) << "addr " << a;
+        EXPECT_EQ(part.globalAddr(s, local), a) << "addr " << a;
+    }
+    // The first address of slice 1 is local 0 of slice 1, not the
+    // tail of slice 0.
+    EXPECT_EQ(part.shardFor(part.sliceBytes), 1u);
+    EXPECT_EQ(part.localAddr(part.sliceBytes), 0u);
+}
+
+TEST(Partition, SingleSliceIsIdentity)
+{
+    const shard::Partition part(2ull << 20, 1);
+    EXPECT_EQ(part.sliceBytes, part.dataBytes);
+    EXPECT_EQ(part.shardFor(part.dataBytes - 1), 0u);
+    EXPECT_EQ(part.localAddr(12345), 12345u);
+}
+
+TEST(PartitionDeath, RefusesUnevenSplit)
+{
+    // 2 MB does not split into 3 equal slices.
+    EXPECT_DEATH(shard::Partition(2ull << 20, 3),
+                 "do not split into");
+}
+
+TEST(PartitionDeath, RefusesMisalignedSlice)
+{
+    // 12 KB splits into 3 slices of 4 KB... but 2 slices of 6 KB are
+    // not page aligned.
+    EXPECT_DEATH(shard::Partition(12 * 1024, 2), "not page aligned");
+}
+
+TEST(PartitionDeath, RefusesZeroSlices)
+{
+    EXPECT_DEATH(shard::Partition(2ull << 20, 0),
+                 "at least one slice");
+}
+
+TEST(PartitionDeath, RefusesOutOfRangeAddress)
+{
+    const shard::Partition part(2ull << 20, 2);
+    EXPECT_DEATH(part.shardFor(part.dataBytes), "beyond data range");
+    EXPECT_DEATH(part.localAddr(part.dataBytes), "beyond data range");
+    EXPECT_DEATH(part.globalAddr(2, 0), "out of");
+    EXPECT_DEATH(part.globalAddr(0, part.sliceBytes),
+                 "beyond slice size");
+}

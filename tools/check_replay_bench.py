@@ -4,9 +4,12 @@
 Compares a fresh bench_replay JSON dump (the JsonSink format:
 {"bench": "bench_replay", "rows": [...]}) against the recorded
 history in results/BENCH_replay.json and fails when any
-(protocol, preset) cell is more than --threshold slower than its
-most recent recorded entry. Pairs with no history (a protocol added
-since the last recording) pass with a note.
+(protocol, preset, shards) cell is more than --threshold slower than
+its most recent recorded entry. Cells with no history — a protocol
+or shard count added since the last recording, or legacy entries
+that predate the shards field — pass with a "new, record-only" note
+instead of crashing on the missing key; malformed history entries
+are warned about and ignored.
 
     check_replay_bench.py --current out.json \
         [--history results/BENCH_replay.json] [--threshold 0.2]
@@ -37,13 +40,37 @@ def load_history(path):
     return hist
 
 
+def cell_key(entry):
+    """(protocol, preset, shards) identity of a row or history entry.
+
+    Entries that predate the sharded bench carry no "shards" field;
+    they key as shards=0 (the legacy single-engine run), so old and
+    new histories interoperate without rewriting.
+    """
+    return (
+        entry.get("protocol"),
+        entry.get("preset"),
+        entry.get("shards", 0),
+    )
+
+
+def cell_name(key):
+    proto, preset, shards = key
+    base = f"{proto}/{preset}"
+    return f"{base}/x{shards}" if shards else base
+
+
 def latest_recorded(history):
-    """Last recorded rate per (protocol, preset), in entry order."""
+    """Last recorded rate per (protocol, preset, shards) cell."""
     latest = {}
     for e in history["entries"]:
-        latest[(e["protocol"], e["preset"])] = (
+        key = cell_key(e)
+        if key[0] is None or key[1] is None or "accesses_per_sec" not in e:
+            print(f"  warning: malformed history entry ignored: {e}")
+            continue
+        latest[key] = (
             e["accesses_per_sec"],
-            e["git_rev"],
+            e.get("git_rev", "?"),
         )
     return latest
 
@@ -65,11 +92,14 @@ def main():
 
     failures = []
     for row in rows:
-        key = (row["protocol"], row["preset"])
-        cell = f"{key[0]}/{key[1]}"
+        key = cell_key(row)
+        cell = cell_name(key)
         rate = row["accesses_per_sec"]
         if key not in latest:
-            print(f"  {cell}: {rate:,.0f}/s (no history, skipped)")
+            print(
+                f"  {cell}: {rate:,.0f}/s "
+                "(no history: new cell, record-only)"
+            )
             continue
         base, rev = latest[key]
         ratio = rate / base
@@ -97,16 +127,19 @@ def main():
 
     if args.append:
         for row in rows:
-            history["entries"].append(
-                {
-                    "protocol": row["protocol"],
-                    "preset": row["preset"],
-                    "accesses_per_sec": round(
-                        row["accesses_per_sec"], 1
-                    ),
-                    "git_rev": args.rev,
-                }
-            )
+            entry = {
+                "protocol": row["protocol"],
+                "preset": row["preset"],
+                "accesses_per_sec": round(
+                    row["accesses_per_sec"], 1
+                ),
+                "git_rev": args.rev,
+            }
+            # Legacy rows stay shards-free so old checkers keep
+            # reading the history; sharded rows record their lanes.
+            if row.get("shards", 0):
+                entry["shards"] = row["shards"]
+            history["entries"].append(entry)
         with open(args.history, "w") as f:
             json.dump(history, f, indent=2)
             f.write("\n")
